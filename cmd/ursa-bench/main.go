@@ -1,0 +1,93 @@
+// ursa-bench regenerates the paper's tables and figures on the simulated
+// testbed and writes the rendered results under an output directory.
+//
+// Usage:
+//
+//	ursa-bench -exp all -scale 1.0 -out results
+//	ursa-bench -exp fig11 -apps social-network,media-service -scale 0.3
+//
+// Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
+// tab6, fig14, all. Scale < 1 shortens deployments and ML sample counts
+// proportionally; shapes are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ursa/internal/experiments"
+	"ursa/internal/topology"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|ablation|all")
+		scale   = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "results", "output directory")
+		apps    = flag.String("apps", "", "comma-separated app filter for fig11/fig12")
+		systems = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var appFilter, sysFilter []string
+	if *apps != "" {
+		appFilter = strings.Split(*apps, ",")
+	}
+	if *systems != "" {
+		sysFilter = strings.Split(*systems, ",")
+	}
+
+	run := func(name string, fn func() string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "== %s ==\n", name)
+		text := fn()
+		path := filepath.Join(*out, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	run("fig2", func() string { return experiments.RunBackpressure(opts).Render() })
+	run("fig4", func() string { return experiments.RunProfiling(opts).Render() })
+	run("tab5", func() string { return experiments.RunExploration(opts).Render() })
+	run("fig9", func() string {
+		c, _ := experiments.AppCaseByName("social-network")
+		return experiments.RunAccuracy(opts, c, []string{
+			topology.UploadPost, topology.UpdateTimeline,
+			topology.ObjectDetect, topology.SentimentAnalysis,
+		}).Render()
+	})
+	run("fig10", func() string {
+		c, _ := experiments.AppCaseByName("video-pipeline")
+		return experiments.RunAccuracy(opts, c, []string{
+			topology.HighPriority, topology.LowPriority,
+		}).Render()
+	})
+	run("fig11", func() string { return experiments.RunComparison(opts, appFilter, sysFilter).Render() })
+	run("fig13", func() string { return experiments.RunDiurnal(opts).Render() })
+	run("tab6", func() string { return experiments.RunControlPlane(opts).Render() })
+	run("fig14", func() string { return experiments.RunAdaptation(opts).Render() })
+	run("ablation", func() string { return experiments.RunAblation(opts).Render() })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ursa-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// ursa-explore runs Ursa's offline pipeline for one application —
+// backpressure-free threshold profiling (§III) followed by per-service LPR
+// exploration (Algorithm 1) — and prints the resulting profiles and the
+// optimised scaling thresholds.
+//
+// Usage:
+//
+//	ursa-explore -app social-network
+//	ursa-explore -app media-service -service video-store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ursa/internal/core"
+	"ursa/internal/experiments"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "social-network", "application to explore")
+		service = flag.String("service", "", "explore only this service")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "sample-count scale")
+		quiet   = flag.Bool("q", false, "suppress progress logging")
+		save    = flag.String("save", "", "write exploration profiles to this JSON file")
+		load    = flag.String("load", "", "reuse exploration profiles from this JSON file (skips exploring)")
+	)
+	flag.Parse()
+
+	c, ok := experiments.AppCaseByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ursa-explore: unknown app %q\n", *appName)
+		os.Exit(1)
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	var (
+		ex       *core.Explorer
+		profiles map[string]*core.Profile
+	)
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-explore: %v\n", err)
+			os.Exit(1)
+		}
+		profiles, err = core.LoadProfiles(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-explore: %v\n", err)
+			os.Exit(1)
+		}
+		ex = &core.Explorer{Spec: c.Spec, Mix: c.Mix, TotalRPS: c.TotalRPS}
+		fmt.Printf("application: %s  (load %.0f RPS)\n", c.Name, c.TotalRPS)
+		fmt.Printf("exploration: loaded %d profiles from %s\n\n", len(profiles), *load)
+	} else {
+		var sum core.ExplorationSummary
+		ex, profiles, sum = opts.UrsaProfiles(c)
+		fmt.Printf("application: %s  (load %.0f RPS)\n", c.Name, c.TotalRPS)
+		fmt.Printf("exploration: %d samples, wall %.2f h (parallel), total %.2f h\n\n",
+			sum.Samples, sum.WallTime.Hours(), sum.TotalTime.Hours())
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-explore: %v\n", err)
+			os.Exit(1)
+		}
+		if err := core.SaveProfiles(f, profiles); err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-explore: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("profiles written to %s\n\n", *save)
+	}
+
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if *service != "" && name != *service {
+			continue
+		}
+		p := profiles[name]
+		fmt.Printf("%s  (cpus/replica %.0f, backpressure-free util %.0f%%, %d samples)\n",
+			name, p.CPUsPerReplica, p.BackpressureUtil*100, p.Samples)
+		fmt.Printf("  %9s %10s %8s", "replicas", "util", "class")
+		fmt.Printf("%14s %10s %10s\n", "lpr(rps)", "p50(ms)", "p99(ms)")
+		for _, pt := range p.Points {
+			classes := make([]string, 0, len(pt.LPR))
+			for cl := range pt.LPR {
+				classes = append(classes, cl)
+			}
+			sort.Strings(classes)
+			for i, cl := range classes {
+				if i == 0 {
+					fmt.Printf("  %9d %9.0f%% ", pt.Replicas, pt.Util*100)
+				} else {
+					fmt.Printf("  %9s %10s ", "", "")
+				}
+				fmt.Printf("%8s%14.1f %10.1f %10.1f\n",
+					truncate(cl, 8), pt.LPR[cl], pt.LatencyAt(cl, 50), pt.LatencyAt(cl, 99))
+			}
+		}
+		fmt.Println()
+	}
+
+	// Solve the model for the nominal load and print the chosen thresholds.
+	mgr := core.NewManager(c.Spec, profiles)
+	loads := (&core.Explorer{Spec: c.Spec, Mix: ex.Mix, TotalRPS: ex.TotalRPS}).ServiceClassLoads()
+	sol, err := mgr.Optimize(loads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ursa-explore: optimization failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("optimised thresholds (projected total %.1f CPUs, %d B&B nodes):\n", sol.TotalCPUs, sol.Nodes)
+	for _, name := range names {
+		ch := sol.Choices[name]
+		if ch == nil {
+			continue
+		}
+		fmt.Printf("  %-20s", name)
+		classes := make([]string, 0, len(ch.LPR))
+		for cl := range ch.LPR {
+			classes = append(classes, cl)
+		}
+		sort.Strings(classes)
+		for _, cl := range classes {
+			fmt.Printf(" %s=%.1frps", truncate(cl, 12), ch.LPR[cl])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncertified latency bounds:")
+	for class, bound := range sol.BoundMs {
+		cs := c.Spec.Class(class)
+		fmt.Printf("  %-22s p%.0f ≤ %8.1f ms  (SLA %.0f ms)\n", class, cs.SLAPercentile, bound, cs.SLAMillis)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,170 @@
+// ursa-sim runs one benchmark application under one resource manager and
+// one load pattern, then prints a per-class SLA and resource report.
+//
+// Usage:
+//
+//	ursa-sim -app social-network -system ursa -load dynamic -minutes 30
+//	ursa-sim -app video-pipeline -system auto-a -load constant
+//
+// Systems: ursa, sinan, firm, auto-a, auto-b, none.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ursa/internal/baselines"
+	"ursa/internal/baselines/autoscale"
+	"ursa/internal/experiments"
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+	"ursa/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "social-network", "application: social-network|vanilla-social-network|media-service|video-pipeline")
+		system   = flag.String("system", "ursa", "manager: ursa|sinan|firm|auto-a|auto-b|none")
+		load     = flag.String("load", "constant", "load pattern: constant|diurnal|burst")
+		minutes  = flag.Int("minutes", 30, "deployment duration (simulated minutes)")
+		rpsMult  = flag.Float64("rps", 1.0, "multiplier on the app's nominal RPS")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 0.5, "training/exploration scale for managers that need it")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+		specFile = flag.String("spec", "", "load a custom application spec from a JSON file (overrides -app; rate via -basirps)")
+		baseRPS  = flag.Float64("basirps", 100, "nominal RPS for a -spec application")
+	)
+	flag.Parse()
+
+	var c experiments.AppCase
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var spec services.AppSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatalf("decoding %s: %v", *specFile, err)
+		}
+		if err := spec.Validate(); err != nil {
+			fatalf("spec invalid: %v", err)
+		}
+		mix := workload.Mix{}
+		for _, class := range spec.EntryClasses() {
+			mix[class] = 1
+		}
+		c = experiments.AppCase{Name: spec.Name, Spec: spec, Mix: mix, TotalRPS: *baseRPS}
+	} else {
+		var ok bool
+		c, ok = experiments.AppCaseByName(*appName)
+		if !ok {
+			fatalf("unknown app %q", *appName)
+		}
+	}
+	c.TotalRPS *= *rpsMult
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	var mgr baselines.Manager
+	switch *system {
+	case "ursa":
+		mgr = opts.NewUrsaManager(c)
+	case "sinan":
+		mgr = opts.NewSinanManager(c)
+	case "firm":
+		mgr = opts.NewFirmManager(c)
+	case "auto-a":
+		mgr = autoscale.New(autoscale.AutoA())
+	case "auto-b":
+		mgr = autoscale.New(autoscale.AutoB())
+	case "none":
+		mgr = nil
+	default:
+		fatalf("unknown system %q", *system)
+	}
+
+	dur := sim.Time(*minutes) * sim.Minute
+	var pattern workload.Pattern
+	switch *load {
+	case "constant":
+		pattern = workload.Constant{Value: c.TotalRPS}
+	case "diurnal":
+		pattern = workload.Diurnal{Base: c.TotalRPS * 0.5, Peak: c.TotalRPS * 1.5, Period: dur}
+	case "burst":
+		pattern = workload.Modulate{
+			Base: workload.Constant{Value: c.TotalRPS}, Factor: 2,
+			Start: dur * 2 / 5, Len: dur / 5,
+		}
+	default:
+		fatalf("unknown load %q", *load)
+	}
+
+	eng := sim.NewEngine(*seed)
+	app, err := services.NewApp(eng, c.Spec)
+	if err != nil {
+		fatalf("deploy: %v", err)
+	}
+	gen := workload.New(eng, app, pattern, c.Mix)
+	gen.Start()
+	if mgr != nil {
+		mgr.Attach(app)
+	}
+	warm := 2 * sim.Minute
+	eng.RunUntil(warm)
+	alloc0 := app.AllocIntegralCPUSeconds()
+	eng.RunUntil(warm + dur)
+	alloc1 := app.AllocIntegralCPUSeconds()
+	if mgr != nil {
+		mgr.Detach()
+	}
+
+	fmt.Printf("\n%s under %s (%s load, %d min):\n\n", c.Name, *system, *load, *minutes)
+	fmt.Printf("%-22s %10s %12s %10s\n", "class", "SLA(ms)", "pXX(ms)", "violated")
+	totalWin, violWin := 0, 0
+	for _, cs := range c.Spec.Classes {
+		rec := app.E2E.Class(cs.Name)
+		if rec == nil {
+			continue
+		}
+		lat := rec.PercentileBetween(warm, warm+dur, cs.SLAPercentile)
+		tw, vw := 0, 0
+		for w := warm; w < warm+dur; w += sim.Minute {
+			vals := rec.Between(w, w+sim.Minute)
+			if len(vals) == 0 {
+				continue
+			}
+			tw++
+			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+				vw++
+			}
+		}
+		totalWin += tw
+		violWin += vw
+		fmt.Printf("%-22s %10.0f %12.1f %9.1f%%\n", cs.Name, cs.SLAMillis, lat,
+			100*float64(vw)/float64(max(1, tw)))
+	}
+	fmt.Printf("\noverall SLA violation rate: %.1f%%\n", 100*float64(violWin)/float64(max(1, totalWin)))
+	fmt.Printf("average CPU allocation:     %.1f cores\n", (alloc1-alloc0)/dur.Seconds())
+	if mgr != nil {
+		fmt.Printf("avg decision latency:       %.3f ms\n", mgr.AvgDecisionMillis())
+	}
+	fmt.Printf("jobs injected/completed:    %d/%d\n", app.InjectedJobs, app.CompletedJobs())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ursa-sim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

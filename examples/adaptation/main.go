@@ -1,0 +1,82 @@
+// Adapting to service changes (§VII-G): the social network's object
+// detector swaps DETR for MobileNet. Ursa re-explores only the modified
+// service — a few dozen samples instead of a full exploration — recalculates
+// the LPR thresholds, and redeploys with the SLA intact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ursa"
+)
+
+func main() {
+	spec := ursa.SocialNetwork()
+	mix := ursa.SocialNetworkMix()
+	const rps = 100
+
+	thresholds := map[string]float64{}
+	for _, s := range spec.Services {
+		thresholds[s.Name] = 0.55
+	}
+	cfg := ursa.ExploreConfig{WindowsPerPoint: 5, Window: 15 * ursa.Second}
+
+	ex := &ursa.Explorer{Spec: spec, Mix: mix, TotalRPS: rps, Thresholds: thresholds}
+	fmt.Println("full exploration of the original application...")
+	profiles, sum, err := ex.ExploreAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d samples across %d services\n\n", sum.Samples, len(profiles))
+
+	run := func(label string, spec ursa.AppSpec, profiles map[string]*ursa.Profile) {
+		eng := ursa.NewEngine(3)
+		app, err := ursa.NewApp(eng, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgr := ursa.NewManager(spec, profiles)
+		if err := mgr.Run(app, mix, rps, ursa.ControllerConfig{}, ursa.AnomalyConfig{}); err != nil {
+			log.Fatal(err)
+		}
+		gen := ursa.NewGenerator(eng, app, ursa.Constant{Value: rps}, mix)
+		gen.Start()
+		eng.RunUntil(20 * ursa.Minute)
+		mgr.Stop()
+		rec := app.E2E.Class("object-detect")
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  object-detect p50 %.1fs  p99 %.1fs  (SLA 10s)\n",
+			rec.PercentileBetween(2*ursa.Minute, 20*ursa.Minute, 50)/1000,
+			rec.PercentileBetween(2*ursa.Minute, 20*ursa.Minute, 99)/1000)
+		fmt.Printf("  object-detect-ml allocation: %.0f cpus\n\n",
+			app.Service("object-detect-ml").AllocatedCPUs())
+	}
+
+	run("original (DETR)", spec, profiles)
+
+	// The business-logic update: swap the detector model.
+	updated := ursa.SocialNetwork()
+	updated.ServiceSpecByName("object-detect-ml").Handlers = map[string][]ursa.Step{
+		"object-detect": ursa.Seq(
+			ursa.Call{Service: "image-store", Mode: ursa.NestedRPC},
+			ursa.Call{Service: "post-storage", Mode: ursa.NestedRPC},
+			ursa.Compute{MeanMs: 620, CV: 0.4}, // MobileNet: ≈4× lighter
+		),
+	}
+
+	fmt.Println("partial re-exploration of object-detect-ml only...")
+	ex2 := &ursa.Explorer{Spec: updated, Mix: mix, TotalRPS: rps, Thresholds: thresholds}
+	p, err := ex2.ExploreService("object-detect-ml", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d samples (vs %d for a full exploration)\n\n", p.Samples, sum.Samples)
+
+	merged := map[string]*ursa.Profile{}
+	for k, v := range profiles {
+		merged[k] = v
+	}
+	merged["object-detect-ml"] = p
+	run("updated (MobileNet)", updated, merged)
+}

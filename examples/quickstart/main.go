@@ -1,0 +1,102 @@
+// Quickstart: build a tiny two-tier application, explore its allocation
+// space with Algorithm 1, solve the performance model, and let Ursa manage
+// it under a bursty load — all in under a hundred lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ursa"
+)
+
+func main() {
+	// 1. Declare the application: an api tier calling a storage tier via
+	//    nested RPC, one request class with a 60 ms p99 SLA.
+	spec := ursa.AppSpec{
+		Name: "quickstart",
+		Services: []ursa.ServiceSpec{
+			{
+				Name: "api", Threads: 4096, CPUs: 1, InitialReplicas: 2,
+				IngressCostMs: 0.1,
+				Handlers: map[string][]ursa.Step{
+					"get": ursa.Seq(
+						ursa.Compute{MeanMs: 2, CV: 0.4},
+						ursa.Call{Service: "storage", Mode: ursa.NestedRPC},
+					),
+				},
+			},
+			{
+				Name: "storage", Threads: 4096, CPUs: 1, InitialReplicas: 2,
+				IngressCostMs: 0.1,
+				Handlers: map[string][]ursa.Step{
+					"get": ursa.Seq(ursa.Compute{MeanMs: 5, CV: 0.4}),
+				},
+			},
+		},
+		Classes: []ursa.ClassSpec{
+			{Name: "get", Entry: "api", SLAPercentile: 99, SLAMillis: 60},
+		},
+	}
+	mix := ursa.Mix{"get": 1}
+
+	// 2. Explore each service's load-per-replica space (Algorithm 1).
+	ex := &ursa.Explorer{
+		Spec:       spec,
+		Mix:        mix,
+		TotalRPS:   200,
+		Thresholds: map[string]float64{"api": 0.7, "storage": 0.7},
+	}
+	profiles, sum, err := ex.ExploreAll(ursa.ExploreConfig{
+		WindowsPerPoint: 6,
+		Window:          20 * ursa.Second,
+	})
+	if err != nil {
+		log.Fatalf("exploration: %v", err)
+	}
+	fmt.Printf("explored %d samples across %d services\n", sum.Samples, len(profiles))
+	for name, p := range profiles {
+		fmt.Printf("  %-8s %d LPR points, backpressure-free util %.0f%%\n",
+			name, len(p.Points), p.BackpressureUtil*100)
+	}
+
+	// 3. Deploy under a bursty load and let Ursa manage replicas.
+	eng := ursa.NewEngine(42)
+	app, err := ursa.NewApp(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := ursa.NewManager(spec, profiles)
+	if err := mgr.Run(app, mix, 200, ursa.ControllerConfig{}, ursa.AnomalyConfig{}); err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	gen := ursa.NewGenerator(eng, app, ursa.Modulate{
+		Base:   ursa.Constant{Value: 200},
+		Factor: 2,
+		Start:  10 * ursa.Minute,
+		Len:    5 * ursa.Minute,
+	}, mix)
+	gen.Start()
+
+	fmt.Println("\nminute  rps  api-replicas  storage-replicas  p99(ms)")
+	for m := ursa.Time(1); m <= 25; m++ {
+		eng.RunUntil(m * ursa.Minute)
+		rec := app.E2E.Class("get")
+		p99 := rec.PercentileBetween((m-1)*ursa.Minute, m*ursa.Minute, 99)
+		fmt.Printf("%6d %4.0f %13d %17d %8.1f\n",
+			m,
+			app.Service("api").ArrivalsAll.Rate((m-1)*ursa.Minute, m*ursa.Minute),
+			app.Service("api").Replicas(),
+			app.Service("storage").Replicas(),
+			p99)
+	}
+	mgr.Stop()
+
+	viol := 0
+	for m := ursa.Time(1); m <= 25; m++ {
+		if app.E2E.Class("get").PercentileBetween((m-1)*ursa.Minute, m*ursa.Minute, 99) > 60 {
+			viol++
+		}
+	}
+	fmt.Printf("\nSLA violation rate: %.1f%% of minutes (burst included)\n", float64(viol)/25*100)
+}

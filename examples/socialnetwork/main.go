@@ -1,0 +1,115 @@
+// Social network under Ursa: the full §VI benchmark — eight request classes
+// with individual SLAs, message-queue-fed ML services — explored once and
+// then managed under a diurnal load while the report tracks per-class SLA
+// compliance and the cluster's CPU footprint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ursa"
+)
+
+func main() {
+	spec := ursa.SocialNetwork()
+	mix := ursa.SocialNetworkMix()
+	const rps = 100
+
+	// Backpressure-free thresholds are profiled per RPC service in the full
+	// pipeline; this example uses a uniform conservative threshold to keep
+	// its runtime short (see examples/quickstart and cmd/ursa-explore for
+	// the profiling step).
+	thresholds := map[string]float64{}
+	for _, s := range spec.Services {
+		thresholds[s.Name] = 0.55
+	}
+	ex := &ursa.Explorer{Spec: spec, Mix: mix, TotalRPS: rps, Thresholds: thresholds}
+	fmt.Println("exploring the allocation space (Algorithm 1)...")
+	profiles, sum, err := ex.ExploreAll(ursa.ExploreConfig{
+		WindowsPerPoint: 5,
+		Window:          15 * ursa.Second,
+	})
+	if err != nil {
+		log.Fatalf("exploration: %v", err)
+	}
+	fmt.Printf("collected %d samples (%.1f simulated hours across services)\n\n",
+		sum.Samples, sum.TotalTime.Hours())
+
+	eng := ursa.NewEngine(7)
+	app, err := ursa.NewApp(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := ursa.NewManager(spec, profiles)
+	if err := mgr.Run(app, mix, rps, ursa.ControllerConfig{}, ursa.AnomalyConfig{}); err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	gen := ursa.NewGenerator(eng, app, ursa.Diurnal{
+		Base: rps * 0.5, Peak: rps * 1.5, Period: 40 * ursa.Minute,
+	}, mix)
+	gen.Start()
+
+	const horizon = 40 * ursa.Minute
+	fmt.Println("minute  rps  total-cpus  (diurnal load, Ursa managing)")
+	for m := ursa.Time(4); m <= 40; m += 4 {
+		eng.RunUntil(m * ursa.Minute)
+		fmt.Printf("%6d %4.0f %11.0f\n", m,
+			app.Service("frontend").ArrivalsAll.Rate((m-1)*ursa.Minute, m*ursa.Minute),
+			app.TotalAllocatedCPUs())
+	}
+	mgr.Stop()
+
+	fmt.Println("\nper-class SLA compliance over the run:")
+	fmt.Printf("%-22s %10s %10s %10s\n", "class", "SLA(ms)", "pXX(ms)", "violated")
+	warm := 2 * ursa.Minute
+	for _, cs := range spec.Classes {
+		rec := app.E2E.Class(cs.Name)
+		if rec == nil {
+			continue
+		}
+		latency := rec.PercentileBetween(warm, horizon, cs.SLAPercentile)
+		total, viol := 0, 0
+		for w := warm; w < horizon; w += ursa.Minute {
+			vals := rec.Between(w, w+ursa.Minute)
+			if len(vals) == 0 {
+				continue
+			}
+			total++
+			if percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+				viol++
+			}
+		}
+		fmt.Printf("%-22s %10.0f %10.1f %9.1f%%\n",
+			cs.Name, cs.SLAMillis, latency, 100*float64(viol)/float64(max(1, total)))
+	}
+	fmt.Printf("\naverage CPU allocation: %.1f cores\n",
+		app.AllocIntegralCPUSeconds()/horizon.Seconds())
+}
+
+// percentile computes the p-th percentile of xs (nearest-rank interpolation).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+// Video processing pipeline under Ursa: two request *priorities* with SLAs
+// at different percentiles (p99 for high, p50 for low), three MQ-connected
+// stages. The example shows priority-aware queueing (low-priority work runs
+// only when no high-priority request waits) and Ursa handling a priority-mix
+// shift through its anomaly detector.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ursa"
+)
+
+func main() {
+	spec := ursa.VideoPipeline()
+	mix := ursa.VideoPipelineMix(50, 50)
+	const rps = 4
+
+	thresholds := map[string]float64{}
+	for _, s := range spec.Services {
+		thresholds[s.Name] = 1.0 // MQ consumers exert no RPC backpressure
+	}
+	ex := &ursa.Explorer{Spec: spec, Mix: mix, TotalRPS: rps, Thresholds: thresholds}
+	fmt.Println("exploring the pipeline's allocation space...")
+	profiles, _, err := ex.ExploreAll(ursa.ExploreConfig{
+		WindowsPerPoint: 5,
+		Window:          30 * ursa.Second,
+	})
+	if err != nil {
+		log.Fatalf("exploration: %v", err)
+	}
+
+	eng := ursa.NewEngine(11)
+	app, err := ursa.NewApp(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := ursa.NewManager(spec, profiles)
+	if err := mgr.Run(app, mix, rps, ursa.ControllerConfig{}, ursa.AnomalyConfig{}); err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	gen := ursa.NewGenerator(eng, app, ursa.Constant{Value: rps}, mix)
+	gen.Start()
+
+	// Shift the priority mix mid-run (the skewed-load regime of §VII-E).
+	eng.At(20*ursa.Minute, func() {
+		gen.Stop()
+		g2 := ursa.NewGenerator(eng, app, ursa.Constant{Value: rps}, ursa.VideoPipelineMix(75, 25))
+		g2.Start()
+		fmt.Println("-- priority mix shifted to 75:25 at minute 20 --")
+	})
+
+	const horizon = 40 * ursa.Minute
+	fmt.Println("minute  hi-p99(s)  lo-p50(s)  queue(hi/lo @ face-rec)  cpus")
+	for m := ursa.Time(4); m <= 40; m += 4 {
+		eng.RunUntil(m * ursa.Minute)
+		hi := app.E2E.Class("high-priority").PercentileBetween((m-4)*ursa.Minute, m*ursa.Minute, 99)
+		lo := app.E2E.Class("low-priority").PercentileBetween((m-4)*ursa.Minute, m*ursa.Minute, 50)
+		fr := app.Service("face-recognition")
+		fmt.Printf("%6d %10.1f %10.1f %12d/%-10d %5.0f\n",
+			m, hi/1000, lo/1000,
+			fr.QueueLenPriority(0), fr.QueueLenPriority(1),
+			app.TotalAllocatedCPUs())
+	}
+	mgr.Stop()
+
+	fmt.Println("\nSLA check (high: p99 ≤ 20s; low: p50 ≤ 4s):")
+	for _, cs := range spec.Classes {
+		lat := app.E2E.Class(cs.Name).PercentileBetween(2*ursa.Minute, horizon, cs.SLAPercentile)
+		status := "OK"
+		if lat > cs.SLAMillis {
+			status = "VIOLATED"
+		}
+		fmt.Printf("  %-15s p%.0f = %6.1fs  (SLA %4.0fs)  %s\n",
+			cs.Name, cs.SLAPercentile, lat/1000, cs.SLAMillis/1000, status)
+	}
+}

@@ -1,0 +1,154 @@
+// Package cluster models the physical cluster underneath the simulated
+// services: a fixed pool of nodes with CPU capacity, replica placement, and
+// allocation accounting. The paper's testbed is 8 machines with 40–88 CPUs
+// each (§VII-A); binding an application to a Cluster makes replica scaling
+// subject to real capacity, so autoscalers can hit the wall the way they do
+// in production.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one machine.
+type Node struct {
+	Name     string
+	Capacity float64 // CPUs
+	used     float64
+}
+
+// Used reports allocated CPUs.
+func (n *Node) Used() float64 { return n.used }
+
+// Free reports unallocated CPUs.
+func (n *Node) Free() float64 { return n.Capacity - n.used }
+
+// Placement records where a replica landed; keep it to release later.
+type Placement struct {
+	Node *Node
+	CPUs float64
+}
+
+// Strategy selects the node for a new replica among those that fit.
+type Strategy int
+
+// Placement strategies.
+const (
+	// BestFit packs replicas tightly (least free capacity that fits) —
+	// fewer fragmentation stalls, more co-location.
+	BestFit Strategy = iota
+	// WorstFit spreads replicas (most free capacity) — Kubernetes'
+	// least-allocated default scoring.
+	WorstFit
+)
+
+// Cluster is a pool of nodes.
+type Cluster struct {
+	nodes    []*Node
+	strategy Strategy
+}
+
+// New builds a cluster from node capacities.
+func New(strategy Strategy, capacities ...float64) *Cluster {
+	c := &Cluster{strategy: strategy}
+	for i, cap := range capacities {
+		if cap <= 0 {
+			panic("cluster: non-positive node capacity")
+		}
+		c.nodes = append(c.nodes, &Node{Name: fmt.Sprintf("node-%d", i), Capacity: cap})
+	}
+	if len(c.nodes) == 0 {
+		panic("cluster: no nodes")
+	}
+	return c
+}
+
+// PaperTestbed builds the §VII-A cluster: 8 machines, 40–88 CPUs.
+func PaperTestbed() *Cluster {
+	return New(WorstFit, 40, 48, 56, 64, 64, 72, 80, 88)
+}
+
+// Nodes lists the nodes (callers must not mutate).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// TotalCapacity sums node capacities.
+func (c *Cluster) TotalCapacity() float64 {
+	t := 0.0
+	for _, n := range c.nodes {
+		t += n.Capacity
+	}
+	return t
+}
+
+// TotalUsed sums allocated CPUs.
+func (c *Cluster) TotalUsed() float64 {
+	t := 0.0
+	for _, n := range c.nodes {
+		t += n.used
+	}
+	return t
+}
+
+// ErrNoCapacity is returned when no node can host the replica.
+type ErrNoCapacity struct {
+	CPUs float64
+}
+
+// Error implements error.
+func (e ErrNoCapacity) Error() string {
+	return fmt.Sprintf("cluster: no node with %.1f free CPUs", e.CPUs)
+}
+
+// Place allocates cpus on a node per the strategy.
+func (c *Cluster) Place(cpus float64) (Placement, error) {
+	if cpus <= 0 {
+		panic("cluster: non-positive placement")
+	}
+	var candidates []*Node
+	for _, n := range c.nodes {
+		if n.Free() >= cpus-1e-9 {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return Placement{}, ErrNoCapacity{CPUs: cpus}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if c.strategy == BestFit {
+			return candidates[i].Free() < candidates[j].Free()
+		}
+		return candidates[i].Free() > candidates[j].Free()
+	})
+	n := candidates[0]
+	n.used += cpus
+	return Placement{Node: n, CPUs: cpus}, nil
+}
+
+// Release returns a placement's CPUs to its node.
+func (c *Cluster) Release(p Placement) {
+	if p.Node == nil {
+		return
+	}
+	p.Node.used -= p.CPUs
+	if p.Node.used < -1e-9 {
+		panic("cluster: released more than allocated")
+	}
+	if p.Node.used < 0 {
+		p.Node.used = 0
+	}
+}
+
+// FitsReplicas reports how many replicas of the given size the cluster
+// could still place (a capacity planner's view; does not allocate).
+func (c *Cluster) FitsReplicas(cpus float64) int {
+	n := 0
+	for _, node := range c.nodes {
+		free := node.Free()
+		for free >= cpus-1e-9 {
+			free -= cpus
+			n++
+		}
+	}
+	return n
+}

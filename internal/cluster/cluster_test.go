@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestPlaceAndRelease(t *testing.T) {
+	c := New(BestFit, 4, 8)
+	p1, err := c.Place(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best fit: the 4-CPU node is the tightest fit.
+	if p1.Node.Capacity != 4 {
+		t.Fatalf("best-fit picked node with capacity %v", p1.Node.Capacity)
+	}
+	if c.TotalUsed() != 4 {
+		t.Fatalf("used = %v", c.TotalUsed())
+	}
+	c.Release(p1)
+	if c.TotalUsed() != 0 {
+		t.Fatalf("used after release = %v", c.TotalUsed())
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	c := New(WorstFit, 8, 16)
+	p, _ := c.Place(2)
+	if p.Node.Capacity != 16 {
+		t.Fatalf("worst-fit picked capacity %v, want 16", p.Node.Capacity)
+	}
+}
+
+func TestNoCapacity(t *testing.T) {
+	c := New(BestFit, 4)
+	if _, err := c.Place(2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Place(3)
+	var nc ErrNoCapacity
+	if !errors.As(err, &nc) || nc.CPUs != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitsReplicas(t *testing.T) {
+	c := New(BestFit, 10, 7)
+	if got := c.FitsReplicas(4); got != 3 { // 2 in node-0, 1 in node-1
+		t.Fatalf("FitsReplicas(4) = %d", got)
+	}
+	if got := c.FitsReplicas(12); got != 0 {
+		t.Fatalf("FitsReplicas(12) = %d", got)
+	}
+}
+
+func TestPaperTestbed(t *testing.T) {
+	c := PaperTestbed()
+	if len(c.Nodes()) != 8 {
+		t.Fatalf("nodes = %d", len(c.Nodes()))
+	}
+	if c.TotalCapacity() != 40+48+56+64+64+72+80+88 {
+		t.Fatalf("capacity = %v", c.TotalCapacity())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	c := New(BestFit, 4)
+	p, _ := c.Place(4)
+	c.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release should panic")
+		}
+	}()
+	c.Release(p)
+}
+
+// Property: any sequence of placements and releases conserves capacity and
+// never over-commits a node.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Strategy(rng.Intn(2)), 16, 24, 32)
+		var live []Placement
+		total := 0.0
+		for i := 0; i < 200; i++ {
+			if rng.Float64() < 0.6 || len(live) == 0 {
+				cpus := float64(1 + rng.Intn(8))
+				p, err := c.Place(cpus)
+				if err == nil {
+					live = append(live, p)
+					total += cpus
+				}
+			} else {
+				k := rng.Intn(len(live))
+				c.Release(live[k])
+				total -= live[k].CPUs
+				live = append(live[:k], live[k+1:]...)
+			}
+			if c.TotalUsed() != total {
+				return false
+			}
+			for _, n := range c.Nodes() {
+				if n.Used() > n.Capacity+1e-9 || n.Used() < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"time"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+)
+
+// nowWall reports wall-clock seconds; control-plane latency accounting
+// (Table VI) uses real time, not simulated time.
+func nowWall() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// AnomalyConfig parameterises the anomaly detector (§V.5).
+type AnomalyConfig struct {
+	// Interval is the detector period.
+	Interval sim.Time
+	// RatioDeviation triggers threshold recalculation when the request
+	// ratio deviation exceeds it (load anomaly).
+	RatioDeviation float64
+	// SLAViolationFreq triggers re-exploration when the fraction of recent
+	// windows violating a class SLA exceeds it (latency anomaly).
+	SLAViolationFreq float64
+	// HistoryWindows is how many recent windows the detector inspects.
+	HistoryWindows int
+}
+
+func (c *AnomalyConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 5 * sim.Minute
+	}
+	if c.RatioDeviation <= 0 {
+		c.RatioDeviation = 1.5
+	}
+	if c.SLAViolationFreq <= 0 {
+		c.SLAViolationFreq = 0.10
+	}
+	if c.HistoryWindows <= 0 {
+		c.HistoryWindows = 5
+	}
+}
+
+// AnomalyEvent describes a detected anomaly.
+type AnomalyEvent struct {
+	At      sim.Time
+	Kind    string // "load" or "latency"
+	Subject string // service (load) or class (latency)
+	Value   float64
+}
+
+// Detector watches load ratios and SLA violations during deployment and
+// asks for threshold recalculation or re-exploration when they drift from
+// what exploration covered.
+type Detector struct {
+	cfg     AnomalyConfig
+	app     *services.App
+	sol     *Solution
+	targets []ClassTarget
+
+	// Recalculate, when non-nil, is invoked on load anomalies (the
+	// optimization engine re-solve of §V.5).
+	Recalculate func(at sim.Time, service string)
+	// Reexplore, when non-nil, is invoked on latency anomalies.
+	Reexplore func(at sim.Time, class string)
+
+	Events []AnomalyEvent
+}
+
+// NewDetector builds an anomaly detector for a deployed solution.
+func NewDetector(app *services.App, sol *Solution, targets []ClassTarget, cfg AnomalyConfig) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg, app: app, sol: sol, targets: targets}
+}
+
+// SetSolution swaps in recalculated thresholds.
+func (d *Detector) SetSolution(sol *Solution) { d.sol = sol }
+
+// Tick runs one detection pass.
+func (d *Detector) Tick() {
+	now := d.app.Eng.Now()
+	from := now - sim.Time(d.cfg.HistoryWindows)*d.app.Window()
+	if from < 0 {
+		from = 0
+	}
+	d.checkLoad(now, from)
+	d.checkLatency(now, from)
+}
+
+// RequestRatioDeviation measures, for a service, how far the current class
+// mix is from the mix the thresholds were computed for: the ratio between
+// the replicas demanded by the binding class alone and the replicas an
+// aggregate (mix-faithful) scaling would demand. 1.0 means the mix matches;
+// large values mean one class dominates scaling and resources are likely
+// over-provisioned for the others (§V.5).
+func (d *Detector) RequestRatioDeviation(service string, from, to sim.Time) float64 {
+	choice := d.sol.Choices[service]
+	svc := d.app.Service(service)
+	if choice == nil || svc == nil {
+		return 1
+	}
+	maxNeed, sumLoad, sumThr := 0.0, 0.0, 0.0
+	for class, thr := range choice.LPR {
+		counter := svc.Arrivals[class]
+		if counter == nil || thr <= 0 {
+			continue
+		}
+		load := counter.Rate(from, to)
+		if need := load / thr; need > maxNeed {
+			maxNeed = need
+		}
+		sumLoad += load
+		sumThr += thr
+	}
+	if maxNeed == 0 || sumThr == 0 || sumLoad == 0 {
+		return 1
+	}
+	aggregate := sumLoad / sumThr
+	return maxNeed / aggregate
+}
+
+func (d *Detector) checkLoad(now, from sim.Time) {
+	for service := range d.sol.Choices {
+		dev := d.RequestRatioDeviation(service, from, now)
+		if dev > d.cfg.RatioDeviation {
+			d.Events = append(d.Events, AnomalyEvent{At: now, Kind: "load", Subject: service, Value: dev})
+			if d.Recalculate != nil {
+				d.Recalculate(now, service)
+			}
+		}
+	}
+}
+
+func (d *Detector) checkLatency(now, from sim.Time) {
+	window := d.app.Window()
+	for _, tgt := range d.targets {
+		rec := d.app.E2E.Class(tgt.Name)
+		if rec == nil {
+			continue
+		}
+		total, violated := 0, 0
+		for w := from; w < now; w += window {
+			vals := rec.Between(w, w+window)
+			if len(vals) == 0 {
+				continue
+			}
+			total++
+			if stats.Percentile(vals, tgt.Percentile) > tgt.TargetMs {
+				violated++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		freq := float64(violated) / float64(total)
+		if freq > d.cfg.SLAViolationFreq {
+			d.Events = append(d.Events, AnomalyEvent{At: now, Kind: "latency", Subject: tgt.Name, Value: freq})
+			if d.Reexplore != nil {
+				d.Reexplore(now, tgt.Name)
+			}
+		}
+	}
+}

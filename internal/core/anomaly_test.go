@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/workload"
+)
+
+// twoClassApp serves two classes at one service, for ratio-deviation tests.
+func twoClassApp() services.AppSpec {
+	return services.AppSpec{
+		Name: "two-class",
+		Services: []services.ServiceSpec{{
+			Name: "api", Threads: 4096, CPUs: 4, InitialReplicas: 4,
+			IngressCostMs: 0.1, IngressWindow: 32,
+			Handlers: map[string][]services.Step{
+				"a": services.Seq(services.Compute{MeanMs: 2, CV: 0.3}),
+				"b": services.Seq(services.Compute{MeanMs: 2, CV: 0.3}),
+			},
+		}},
+		Classes: []services.ClassSpec{
+			{Name: "a", Entry: "api", SLAPercentile: 99, SLAMillis: 50},
+			{Name: "b", Entry: "api", SLAPercentile: 99, SLAMillis: 50},
+		},
+	}
+}
+
+func anomalyFixture(t *testing.T, mix workload.Mix, seed int64) (*sim.Engine, *services.App, *Detector) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	app := services.MustNewApp(eng, twoClassApp())
+	sol := &Solution{Choices: map[string]*Choice{
+		"api": {
+			Service: "api",
+			// Thresholds tuned for a balanced 1:1 mix.
+			LPR: map[string]float64{"a": 25, "b": 25},
+		},
+	}}
+	det := NewDetector(app, sol, TargetsFor(app.Spec), AnomalyConfig{
+		Interval: sim.Minute, RatioDeviation: 1.5, SLAViolationFreq: 0.2, HistoryWindows: 3,
+	})
+	gen := workload.New(eng, app, workload.Constant{Value: 100}, mix)
+	gen.Start()
+	return eng, app, det
+}
+
+func TestRatioDeviationBalancedMix(t *testing.T) {
+	eng, _, det := anomalyFixture(t, workload.Mix{"a": 1, "b": 1}, 51)
+	eng.RunUntil(4 * sim.Minute)
+	dev := det.RequestRatioDeviation("api", sim.Minute, 4*sim.Minute)
+	if dev > 1.2 {
+		t.Fatalf("balanced mix deviation = %v, want ≈1", dev)
+	}
+	det.Tick()
+	for _, ev := range det.Events {
+		if ev.Kind == "load" {
+			t.Fatalf("false load anomaly: %+v", ev)
+		}
+	}
+}
+
+func TestRatioDeviationSkewedMixTriggers(t *testing.T) {
+	eng, _, det := anomalyFixture(t, workload.Mix{"a": 9, "b": 1}, 52)
+	recalcs := 0
+	det.Recalculate = func(sim.Time, string) { recalcs++ }
+	eng.RunUntil(4 * sim.Minute)
+	dev := det.RequestRatioDeviation("api", sim.Minute, 4*sim.Minute)
+	if dev < 1.5 {
+		t.Fatalf("skewed mix deviation = %v, want > 1.5", dev)
+	}
+	det.Tick()
+	if recalcs == 0 {
+		t.Fatal("skewed mix did not trigger recalculation")
+	}
+}
+
+func TestLatencyAnomalyTriggersReexplore(t *testing.T) {
+	eng, app, det := anomalyFixture(t, workload.Mix{"a": 1, "b": 1}, 53)
+	var reexplored []string
+	det.Reexplore = func(_ sim.Time, class string) { reexplored = append(reexplored, class) }
+	// Throttle the service so SLAs blow up (0.04 cores per replica makes a
+	// single 2ms burst take ≥50ms, the SLA).
+	app.Service("api").SetCPUFactor(0.01)
+	eng.RunUntil(4 * sim.Minute)
+	det.Tick()
+	if len(reexplored) == 0 {
+		t.Fatal("sustained SLA violations did not trigger re-exploration")
+	}
+	found := false
+	for _, ev := range det.Events {
+		if ev.Kind == "latency" && ev.Value > 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no latency event recorded: %+v", det.Events)
+	}
+}
+
+func TestHealthyDeploymentNoEvents(t *testing.T) {
+	eng, _, det := anomalyFixture(t, workload.Mix{"a": 1, "b": 1}, 54)
+	eng.RunUntil(4 * sim.Minute)
+	det.Tick()
+	if len(det.Events) != 0 {
+		t.Fatalf("healthy run produced events: %+v", det.Events)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/workload"
+)
+
+// controllerFixture deploys the mini app with a hand-built solution whose
+// LPR threshold for "back" is thrMap, then returns app+controller.
+func controllerFixture(t *testing.T, thr float64, seed int64) (*sim.Engine, *services.App, *Controller, *workload.Generator) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	app := services.MustNewApp(eng, miniApp())
+	sol := &Solution{
+		Choices: map[string]*Choice{
+			"back": {
+				Service:     "back",
+				LPR:         map[string]float64{"req": thr},
+				RateSamples: map[string][]float64{"req": {thr * 0.97, thr, thr * 1.03}},
+			},
+		},
+	}
+	ctl := NewController(app, sol, ControllerConfig{Interval: sim.Minute, LoadWindows: 3})
+	gen := workload.New(eng, app, workload.Constant{Value: 100}, workload.Mix{"req": 1})
+	return eng, app, ctl, gen
+}
+
+func TestControllerScalesUp(t *testing.T) {
+	// Load 100 RPS, threshold 30/replica, 2 initial replicas → wants 4.
+	eng, app, ctl, gen := controllerFixture(t, 30, 41)
+	gen.Start()
+	eng.RunUntil(3 * sim.Minute)
+	changes := ctl.Tick()
+	if got := changes["back"]; got != 4 {
+		t.Fatalf("scale-up to %d, want 4 (changes=%v)", got, changes)
+	}
+	if app.Service("back").Replicas() != 4 {
+		t.Fatal("replica count not applied")
+	}
+	if ctl.DecisionCount != 1 || ctl.AvgDecisionMillis() < 0 {
+		t.Fatal("decision accounting missing")
+	}
+}
+
+func TestControllerScalesDown(t *testing.T) {
+	eng, app, ctl, gen := controllerFixture(t, 80, 42)
+	app.Service("back").SetReplicas(6) // over-provisioned: 100/80 → needs 2
+	gen.Start()
+	eng.RunUntil(3 * sim.Minute)
+	ctl.Tick()
+	if got := app.Service("back").Replicas(); got != 2 {
+		t.Fatalf("scale-down to %d, want 2", got)
+	}
+}
+
+func TestControllerHoldsNearThreshold(t *testing.T) {
+	// Load per replica ≈ threshold: the t-test must suppress flapping.
+	eng, app, ctl, gen := controllerFixture(t, 50, 43)
+	// 100 RPS / 2 replicas = 50 per replica ≈ threshold exactly.
+	gen.Start()
+	eng.RunUntil(3 * sim.Minute)
+	ctl.Tick()
+	got := app.Service("back").Replicas()
+	if got != 2 && got != 3 {
+		t.Fatalf("replicas = %d, want 2 (hold) or 3 (ceil), not a big jump", got)
+	}
+}
+
+func TestControllerTracksLoadIncrease(t *testing.T) {
+	eng, app, ctl, gen := controllerFixture(t, 30, 44)
+	gen.Start()
+	tick := eng.Every(sim.Minute, func() { ctl.Tick() })
+	defer tick.Stop()
+	eng.RunUntil(5 * sim.Minute)
+	before := app.Service("back").Replicas()
+	gen.SetPattern(workload.Constant{Value: 300})
+	eng.RunUntil(12 * sim.Minute)
+	after := app.Service("back").Replicas()
+	if after <= before {
+		t.Fatalf("controller did not scale with load: %d → %d", before, after)
+	}
+	if after < 10 || after > 13 { // 300/30 = 10 replicas + ceil slack
+		t.Fatalf("replicas = %d, want ≈10-13", after)
+	}
+}
+
+func TestControllerScalesBackAfterBurst(t *testing.T) {
+	eng, app, ctl, gen := controllerFixture(t, 30, 45)
+	gen.Start()
+	tick := eng.Every(sim.Minute, func() { ctl.Tick() })
+	defer tick.Stop()
+	gen.SetPattern(workload.Burst{Base: 100, Factor: 2.5, Start: 5 * sim.Minute, Len: 5 * sim.Minute})
+	eng.RunUntil(9 * sim.Minute)
+	peak := app.Service("back").Replicas()
+	eng.RunUntil(20 * sim.Minute)
+	settled := app.Service("back").Replicas()
+	if peak < 7 {
+		t.Fatalf("burst not absorbed: peak replicas = %d", peak)
+	}
+	if settled >= peak {
+		t.Fatalf("did not scale back in after burst: peak=%d settled=%d", peak, settled)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/workload"
+)
+
+// Manager is the assembled Ursa system (Fig. 5): exploration profiles feed
+// the optimization engine, whose LPR thresholds drive the resource
+// controller; the anomaly detector watches deployment and triggers
+// recalculation. Attach it to a running app with Run.
+type Manager struct {
+	Spec       services.AppSpec
+	Profiles   map[string]*Profile
+	Targets    []ClassTarget
+	Controller *Controller
+	Detector   *Detector
+
+	// OptimizeCount/OptimizeSeconds accumulate wall-clock cost of solving
+	// the performance model (the "update" path of Table VI).
+	OptimizeCount   int
+	OptimizeSeconds float64
+
+	app     *services.App
+	tickers []*sim.Ticker
+}
+
+// TargetsFor derives the ClassTargets of every class declared in a spec.
+func TargetsFor(spec services.AppSpec) []ClassTarget {
+	var out []ClassTarget
+	for _, cs := range spec.Classes {
+		path := ClassPath(&spec, cs.Name)
+		if len(path) == 0 {
+			continue
+		}
+		out = append(out, ClassTarget{
+			Name:       cs.Name,
+			Percentile: cs.SLAPercentile,
+			TargetMs:   cs.SLAMillis,
+			Path:       path,
+		})
+	}
+	return out
+}
+
+// NewManager builds a manager from exploration output.
+func NewManager(spec services.AppSpec, profiles map[string]*Profile) *Manager {
+	return &Manager{
+		Spec:     spec,
+		Profiles: profiles,
+		Targets:  TargetsFor(spec),
+	}
+}
+
+// CloneFresh returns a new manager sharing this one's spec and exploration
+// profiles but with pristine runtime state — deploying the same exploration
+// output onto another application instance, as the paper does across its
+// load scenarios.
+func (m *Manager) CloneFresh() *Manager {
+	return &Manager{Spec: m.Spec, Profiles: m.Profiles, Targets: m.Targets}
+}
+
+// Optimize solves the performance model for the given per-service loads and
+// returns the threshold solution, accounting its wall-clock cost.
+func (m *Manager) Optimize(loads map[string]map[string]float64) (*Solution, error) {
+	start := nowWall()
+	model := &Model{Profiles: m.Profiles, Targets: m.Targets, Loads: loads}
+	sol, err := model.Solve()
+	m.OptimizeCount++
+	m.OptimizeSeconds += nowWall() - start
+	return sol, err
+}
+
+// LoadsFromMix projects per-service per-class loads from an entry mix and a
+// total rate, used for the initial optimization before deployment metrics
+// exist.
+func (m *Manager) LoadsFromMix(mix workload.Mix, totalRPS float64) map[string]map[string]float64 {
+	ex := &Explorer{Spec: m.Spec, Mix: mix, TotalRPS: totalRPS}
+	return ex.ServiceClassLoads()
+}
+
+// LiveLoads reads per-service per-class loads from the running app's last k
+// windows.
+func (m *Manager) LiveLoads(app *services.App, k int) map[string]map[string]float64 {
+	now := app.Eng.Now()
+	from := now - sim.Time(k)*app.Window()
+	if from < 0 {
+		from = 0
+	}
+	out := map[string]map[string]float64{}
+	for _, name := range app.ServiceNames() {
+		svc := app.Service(name)
+		mm := map[string]float64{}
+		for class, counter := range svc.Arrivals {
+			if r := counter.Rate(from, now); r > 0 {
+				mm[class] = r
+			}
+		}
+		if len(mm) > 0 {
+			out[name] = mm
+		}
+	}
+	return out
+}
+
+// Run deploys Ursa onto a running application: it solves the model for the
+// expected load, applies the initial replica counts, and starts the
+// controller and anomaly detector tickers. Stop with Stop.
+func (m *Manager) Run(app *services.App, mix workload.Mix, totalRPS float64, cctl ControllerConfig, canom AnomalyConfig) error {
+	loads := m.LoadsFromMix(mix, totalRPS)
+	sol, err := m.Optimize(loads)
+	if err != nil {
+		return fmt.Errorf("initial optimization: %w", err)
+	}
+	m.app = app
+	m.Controller = NewController(app, sol, cctl)
+	m.Detector = NewDetector(app, sol, m.Targets, canom)
+	m.Detector.Recalculate = func(at sim.Time, service string) {
+		live := m.LiveLoads(app, 3)
+		if newSol, err := m.Optimize(live); err == nil {
+			m.Controller.SetSolution(newSol)
+			m.Detector.SetSolution(newSol)
+		}
+	}
+
+	// Apply initial allocation.
+	for name, choice := range sol.Choices {
+		svc := app.Service(name)
+		if svc == nil {
+			continue
+		}
+		want := 1
+		for class, thr := range choice.LPR {
+			if thr <= 0 {
+				continue
+			}
+			if l, ok := loads[name][class]; ok {
+				n := int(l/thr) + 1
+				if l > 0 && float64(int(l/thr))*thr == l {
+					n = int(l / thr)
+				}
+				if n > want {
+					want = n
+				}
+			}
+		}
+		svc.SetReplicas(want)
+	}
+
+	cfg := cctl
+	cfg.defaults()
+	m.tickers = append(m.tickers, app.Eng.Every(cfg.Interval, func() { m.Controller.Tick() }))
+	acfg := canom
+	acfg.defaults()
+	m.tickers = append(m.tickers, app.Eng.Every(acfg.Interval, func() { m.Detector.Tick() }))
+	return nil
+}
+
+// Stop halts the manager's tickers.
+func (m *Manager) Stop() {
+	for _, t := range m.tickers {
+		t.Stop()
+	}
+	m.tickers = nil
+}
+
+// AvgOptimizeMillis reports the mean wall-clock model-solve latency.
+func (m *Manager) AvgOptimizeMillis() float64 {
+	if m.OptimizeCount == 0 {
+		return 0
+	}
+	return m.OptimizeSeconds / float64(m.OptimizeCount) * 1e3
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+	"ursa/internal/workload"
+)
+
+// TestManagerEndToEnd drives the full Ursa pipeline on the mini app:
+// exploration → optimization → deployment under a diurnal load, checking
+// that the system scales with load and holds the SLA.
+func TestManagerEndToEnd(t *testing.T) {
+	e := miniExplorer()
+	profiles, _, err := e.ExploreAll(fastExploreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine(99)
+	app := services.MustNewApp(eng, e.Spec)
+	mgr := NewManager(e.Spec, profiles)
+	mix := workload.Mix{"req": 1}
+	if err := mgr.Run(app, mix, 150, ControllerConfig{}, AnomalyConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(eng, app, workload.Diurnal{Base: 80, Peak: 400, Period: 40 * sim.Minute}, mix)
+	gen.Start()
+
+	minReps, maxReps := 1<<30, 0
+	probe := eng.Every(sim.Minute, func() {
+		r := app.Service("back").Replicas()
+		if r < minReps {
+			minReps = r
+		}
+		if r > maxReps {
+			maxReps = r
+		}
+	})
+	eng.RunUntil(40 * sim.Minute)
+	probe.Stop()
+	mgr.Stop()
+
+	if maxReps <= minReps {
+		t.Fatalf("no scaling under diurnal load: replicas stayed at %d", minReps)
+	}
+
+	// SLA violation rate over per-minute windows must be low.
+	rec := app.E2E.Class("req")
+	total, violated := 0, 0
+	for w := 2 * sim.Minute; w < 40*sim.Minute; w += sim.Minute {
+		vals := rec.Between(w, w+sim.Minute)
+		if len(vals) == 0 {
+			continue
+		}
+		total++
+		if stats.Percentile(vals, 99) > 60 {
+			violated++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no traffic measured")
+	}
+	rate := float64(violated) / float64(total)
+	if rate > 0.15 {
+		t.Fatalf("SLA violation rate %.1f%% too high under Ursa", rate*100)
+	}
+
+	if mgr.OptimizeCount == 0 || mgr.AvgOptimizeMillis() <= 0 {
+		t.Fatal("optimizer accounting missing")
+	}
+	if mgr.Controller.DecisionCount == 0 {
+		t.Fatal("controller never ticked")
+	}
+}
+
+// TestManagerRecalculateOnSkew checks the anomaly-recovery path: a skewed
+// mix triggers recalculation with live loads.
+func TestManagerRecalculateOnSkew(t *testing.T) {
+	spec := twoClassApp()
+	e := &Explorer{
+		Spec:       spec,
+		Mix:        workload.Mix{"a": 1, "b": 1},
+		TotalRPS:   100,
+		Thresholds: map[string]float64{"api": 0.7},
+	}
+	profiles, _, err := e.ExploreAll(fastExploreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(100)
+	app := services.MustNewApp(eng, spec)
+	mgr := NewManager(spec, profiles)
+	if err := mgr.Run(app, workload.Mix{"a": 1, "b": 1}, 100,
+		ControllerConfig{}, AnomalyConfig{Interval: 2 * sim.Minute, RatioDeviation: 1.4}); err != nil {
+		t.Fatal(err)
+	}
+	// Deploy with a heavily skewed live mix instead.
+	gen := workload.New(eng, app, workload.Constant{Value: 100}, workload.Mix{"a": 9, "b": 1})
+	gen.Start()
+	eng.RunUntil(15 * sim.Minute)
+	mgr.Stop()
+	if mgr.OptimizeCount < 2 {
+		t.Fatalf("skewed mix did not trigger recalculation: optimize count = %d", mgr.OptimizeCount)
+	}
+	if len(mgr.Detector.Events) == 0 {
+		t.Fatal("no anomaly events recorded")
+	}
+}

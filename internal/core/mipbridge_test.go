@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/lp"
+	"ursa/internal/mip"
+)
+
+// TestExactMIPMatchesSpecializedSolver cross-checks the generic
+// branch-and-bound on the exact MIP (1) formulation against the specialised
+// solver used in production: identical optimal objectives.
+func TestExactMIPMatchesSpecializedSolver(t *testing.T) {
+	for _, target := range []float64{150, 90, 70} {
+		m := twoServiceModel(target)
+		want, err := m.Solve()
+		if err != nil {
+			t.Fatalf("target %v: specialized solve: %v", target, err)
+		}
+		prob, decode, err := m.BuildExactMIP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mip.Solve(prob)
+		if got.Status != lp.Optimal {
+			t.Fatalf("target %v: generic status %v", target, got.Status)
+		}
+		if math.Abs(got.Obj-want.TotalCPUs) > 1e-6 {
+			t.Fatalf("target %v: generic obj %v != specialized %v", target, got.Obj, want.TotalCPUs)
+		}
+		picks := decode(got.X)
+		if len(picks) != 2 {
+			t.Fatalf("decode = %v", picks)
+		}
+	}
+}
+
+func TestExactMIPInfeasibleAgrees(t *testing.T) {
+	m := twoServiceModel(20) // specialized solver reports infeasible
+	if _, err := m.Solve(); err == nil {
+		t.Fatal("specialized should be infeasible")
+	}
+	prob, _, err := m.BuildExactMIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mip.Solve(prob); got.Status != lp.Infeasible {
+		t.Fatalf("generic status = %v, want infeasible", got.Status)
+	}
+}
+
+func TestExactMIPSize(t *testing.T) {
+	m := twoServiceModel(150)
+	vars, cons, err := m.ExactMIPSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 δ + 16 γ + 32 z = 52 vars.
+	if vars != 52 {
+		t.Fatalf("vars = %d, want 52", vars)
+	}
+	if cons <= 0 {
+		t.Fatalf("constraints = %d", cons)
+	}
+}
+
+func TestPercentileGridString(t *testing.T) {
+	s := PercentileGridString()
+	if s == "" {
+		t.Fatal("empty grid")
+	}
+}

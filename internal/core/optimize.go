@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ursa/internal/stats"
+)
+
+// ClassTarget is one end-to-end SLA constraint: the x-th percentile latency
+// of the class must stay below TargetMs.
+type ClassTarget struct {
+	Name       string
+	Percentile float64
+	TargetMs   float64
+	Path       []PathVisit
+}
+
+// Model is the §IV performance model: per-service exploration profiles plus
+// the end-to-end SLA targets and the current per-service load, from which
+// the optimization engine derives per-service LPR thresholds.
+type Model struct {
+	Profiles map[string]*Profile
+	Targets  []ClassTarget
+	// Loads maps service → class → current arrival rate (requests/second).
+	Loads map[string]map[string]float64
+	// TargetScale tightens every SLA target by this factor during solving
+	// (certified bound ≤ TargetScale × T). Ursa "prioritizes maintaining
+	// SLAs and makes conservative decisions" (§VII-E); the default 0.92
+	// absorbs sampling noise in the explored percentile estimates. 1
+	// disables the margin; the zero value selects the default.
+	TargetScale float64
+	// EqualSplitPercentiles is an ablation switch: instead of optimising
+	// the Theorem 1 percentile assignment, every service on a class's path
+	// is forced to the same percentile — the smallest grid value whose
+	// residual fits an equal split of the budget. Quantifies how much the
+	// MIP's percentile freedom saves.
+	EqualSplitPercentiles bool
+}
+
+// targetMs is the effective (safety-scaled) latency target of target t.
+func (m *Model) targetMs(t int) float64 {
+	s := m.TargetScale
+	if s <= 0 {
+		s = 0.92
+	}
+	return m.Targets[t].TargetMs * s
+}
+
+// Choice is the selected LPR operating point for one service.
+type Choice struct {
+	Service    string
+	PointIndex int
+	// LPR is the per-class load-per-replica scaling threshold a_i^j.
+	LPR map[string]float64
+	// RateSamples back the controller's t-test threshold comparisons.
+	RateSamples map[string][]float64
+	// CostCPUs is the projected CPU consumption at the current load.
+	CostCPUs float64
+}
+
+// Solution is the optimization output: one LPR threshold per service plus
+// the percentile decomposition that certifies each SLA.
+type Solution struct {
+	Choices map[string]*Choice
+	// PercentileChoice maps class → path index → chosen percentile.
+	PercentileChoice map[string][]float64
+	// BoundMs maps class → the certified latency upper bound Σ t_i(x_i).
+	BoundMs map[string]float64
+	// TotalCPUs is the projected total CPU consumption.
+	TotalCPUs float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// term is one additive latency contribution to a class constraint.
+type term struct {
+	service string
+	class   string // effective class at the service
+	count   float64
+}
+
+// option is one candidate LPR point of a service, with its projected cost.
+type option struct {
+	index int
+	cost  float64
+	// lat[t][β]: latency contribution of this option to target t's term for
+	// this service at percentile index β (already scaled by visit count),
+	// or nil when the service is not on target t's path.
+	lat [][]float64
+}
+
+// Solve picks the cheapest per-service LPR thresholds whose Theorem 1
+// decomposition satisfies every SLA target, by branch-and-bound with an
+// exact percentile-assignment DP at the leaves. Targets whose class carries
+// no load (declared but currently unused request classes) are dropped — they
+// consume no resources and have no distributions to constrain. It returns an
+// error when no explored combination is feasible.
+func (m *Model) Solve() (*Solution, error) {
+	if active := m.activeTargets(); len(active) != len(m.Targets) {
+		mm := *m
+		mm.Targets = active
+		return mm.Solve()
+	}
+	svcNames, opts, terms, budgets, err := m.compile()
+	if err != nil {
+		return nil, err
+	}
+	nSvc := len(svcNames)
+	nTgt := len(m.Targets)
+
+	// Per-target quick infeasibility data: best possible contribution per
+	// service (over all options and percentiles).
+	bestContrib := make([][]float64, nTgt) // [target][svcIdx]
+	for t := range m.Targets {
+		bestContrib[t] = make([]float64, nSvc)
+		for si := range svcNames {
+			best := 0.0
+			found := false
+			for _, op := range opts[si] {
+				if op.lat[t] == nil {
+					continue
+				}
+				for _, v := range op.lat[t] {
+					if !found || v < best {
+						best = v
+						found = true
+					}
+				}
+			}
+			bestContrib[t][si] = best
+		}
+	}
+	minCostFrom := make([]float64, nSvc+1)
+	for si := nSvc - 1; si >= 0; si-- {
+		minCost := math.Inf(1)
+		for _, op := range opts[si] {
+			if op.cost < minCost {
+				minCost = op.cost
+			}
+		}
+		minCostFrom[si] = minCostFrom[si+1] + minCost
+	}
+
+	bestCost := math.Inf(1)
+	var bestPick []int
+	pick := make([]int, nSvc)
+	nodes := 0
+
+	var rec func(si int, costSoFar float64, latSoFar []float64)
+	rec = func(si int, costSoFar float64, latSoFar []float64) {
+		nodes++
+		if nodes > 5_000_000 {
+			return // node budget; incumbent (if any) stands
+		}
+		if costSoFar+minCostFrom[si] >= bestCost {
+			return
+		}
+		if si == nSvc {
+			// Exact feasibility via the percentile-budget DP per target.
+			for t := range m.Targets {
+				if _, ok := m.assignPercentiles(t, terms[t], opts, pick, svcNames, budgets[t]); !ok {
+					return
+				}
+			}
+			bestCost = costSoFar
+			bestPick = append([]int(nil), pick...)
+			return
+		}
+		// Optimistic per-target feasibility using best-case remaining.
+		for t := range m.Targets {
+			optimistic := latSoFar[t]
+			for sj := si; sj < nSvc; sj++ {
+				optimistic += bestContrib[t][sj]
+			}
+			if optimistic > m.targetMs(t) {
+				return
+			}
+		}
+		// Try options cheapest-first so the first feasible leaf is a good
+		// incumbent.
+		order := make([]int, len(opts[si]))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return opts[si][order[a]].cost < opts[si][order[b]].cost })
+		next := make([]float64, nTgt)
+		for _, oi := range order {
+			op := opts[si][oi]
+			for t := 0; t < nTgt; t++ {
+				next[t] = latSoFar[t]
+				if op.lat[t] != nil {
+					// Best-case percentile for the bound (DP enforces the
+					// real budget at the leaf).
+					best := math.Inf(1)
+					for _, v := range op.lat[t] {
+						if v < best {
+							best = v
+						}
+					}
+					next[t] += best
+				}
+			}
+			pick[si] = op.index
+			rec(si+1, costSoFar+op.cost, next)
+		}
+	}
+	rec(0, 0, make([]float64, nTgt))
+
+	if bestPick == nil {
+		return nil, fmt.Errorf("core: no feasible LPR combination for the explored allocation space")
+	}
+
+	sol := &Solution{
+		Choices:          map[string]*Choice{},
+		PercentileChoice: map[string][]float64{},
+		BoundMs:          map[string]float64{},
+		TotalCPUs:        bestCost,
+		Nodes:            nodes,
+	}
+	for si, name := range svcNames {
+		p := m.Profiles[name]
+		pt := &p.Points[bestPick[si]]
+		var cost float64
+		for _, op := range opts[si] {
+			if op.index == bestPick[si] {
+				cost = op.cost
+			}
+		}
+		sol.Choices[name] = &Choice{
+			Service:     name,
+			PointIndex:  bestPick[si],
+			LPR:         pt.LPR,
+			RateSamples: pt.RateSamples,
+			CostCPUs:    cost,
+		}
+	}
+	for t, tgt := range m.Targets {
+		assign, ok := m.assignPercentiles(t, terms[t], opts, bestPick, svcNames, budgets[t])
+		if !ok {
+			return nil, fmt.Errorf("core: internal: winning pick infeasible for %s", tgt.Name)
+		}
+		sol.PercentileChoice[tgt.Name] = assign.percentiles
+		sol.BoundMs[tgt.Name] = assign.bound
+	}
+	return sol, nil
+}
+
+// activeTargets filters out targets whose class sees no load anywhere on
+// its path.
+func (m *Model) activeTargets() []ClassTarget {
+	var out []ClassTarget
+	for _, tgt := range m.Targets {
+		load := 0.0
+		for _, v := range tgt.Path {
+			load += m.Loads[v.Service][v.Class]
+		}
+		if load > 0 {
+			out = append(out, tgt)
+		}
+	}
+	return out
+}
+
+// compile validates the model and builds the option/term tables.
+func (m *Model) compile() (svcNames []string, opts [][]option, terms [][]term, budgets []int, err error) {
+	seen := map[string]bool{}
+	for _, tgt := range m.Targets {
+		if len(tgt.Path) == 0 {
+			return nil, nil, nil, nil, fmt.Errorf("core: target %s has an empty path", tgt.Name)
+		}
+		for _, v := range tgt.Path {
+			if !seen[v.Service] {
+				seen[v.Service] = true
+				svcNames = append(svcNames, v.Service)
+			}
+		}
+	}
+	sort.Strings(svcNames)
+
+	terms = make([][]term, len(m.Targets))
+	budgets = make([]int, len(m.Targets))
+	for t, tgt := range m.Targets {
+		budgets[t] = residualUnits(tgt.Percentile)
+		for _, v := range tgt.Path {
+			terms[t] = append(terms[t], term{service: v.Service, class: v.Class, count: float64(v.Count)})
+		}
+	}
+
+	opts = make([][]option, len(svcNames))
+	for si, name := range svcNames {
+		p := m.Profiles[name]
+		if p == nil || len(p.Points) == 0 {
+			return nil, nil, nil, nil, fmt.Errorf("core: no exploration profile for service %q", name)
+		}
+		for pi := range p.Points {
+			pt := &p.Points[pi]
+			cost, ok := m.optionCost(name, pt)
+			if !ok {
+				continue
+			}
+			op := option{index: pi, cost: cost, lat: make([][]float64, len(m.Targets))}
+			usable := true
+			for t := range m.Targets {
+				var mine *term
+				for k := range terms[t] {
+					if terms[t][k].service == name {
+						mine = &terms[t][k]
+						break
+					}
+				}
+				if mine == nil {
+					continue
+				}
+				samples := pt.Latency[mine.class]
+				if len(samples) == 0 {
+					usable = false
+					break
+				}
+				row := make([]float64, len(Percentiles))
+				for b, pp := range Percentiles {
+					row[b] = mine.count * stats.Percentile(samples, pp)
+				}
+				op.lat[t] = row
+			}
+			if usable {
+				opts[si] = append(opts[si], op)
+			}
+		}
+		if len(opts[si]) == 0 {
+			return nil, nil, nil, nil, fmt.Errorf("core: service %q has no usable LPR points for the current classes", name)
+		}
+	}
+	return svcNames, opts, terms, budgets, nil
+}
+
+// optionCost projects the CPU consumption of running service at the point's
+// LPR thresholds under the model's current loads (Equation 3).
+func (m *Model) optionCost(service string, pt *LPRPoint) (float64, bool) {
+	p := m.Profiles[service]
+	loads := m.Loads[service]
+	maxReplicas := 0.0
+	for class, a := range loads {
+		if a <= 0 {
+			continue
+		}
+		thr, ok := pt.LPR[class]
+		if !ok || thr <= 0 {
+			return 0, false // point never observed this class
+		}
+		if r := a / thr; r > maxReplicas {
+			maxReplicas = r
+		}
+	}
+	if maxReplicas == 0 {
+		maxReplicas = 1
+	}
+	return maxReplicas * p.CPUsPerReplica, true
+}
+
+type assignment struct {
+	percentiles []float64
+	bound       float64
+}
+
+// equalSplitIndex returns the grid index of the smallest percentile whose
+// residual fits budget/n (the naive equal-split decomposition), or -1.
+func equalSplitIndex(budget, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	share := budget / n
+	for β := range Percentiles {
+		if residualUnits(Percentiles[β]) <= share {
+			return β
+		}
+	}
+	return -1
+}
+
+// assignPercentiles solves, for one target, the percentile-budget DP: pick a
+// percentile per path term minimizing the summed latency bound subject to
+// Σ residuals ≤ budget; feasible iff the minimum bound ≤ TargetMs. With
+// EqualSplitPercentiles the assignment is fixed to the equal-split
+// percentile instead (ablation).
+func (m *Model) assignPercentiles(t int, tms []term, opts [][]option, pick []int, svcNames []string, budget int) (assignment, bool) {
+	if m.EqualSplitPercentiles {
+		return m.assignEqualSplit(t, tms, opts, pick, svcNames, budget)
+	}
+	type cell struct {
+		lat    float64
+		choice int8
+	}
+	residuals := make([]int, len(Percentiles))
+	for b, p := range Percentiles {
+		residuals[b] = residualUnits(p)
+	}
+	svcIdx := map[string]int{}
+	for i, n := range svcNames {
+		svcIdx[n] = i
+	}
+
+	// rows[k]: latency contribution of term k per percentile index.
+	rows := make([][]float64, len(tms))
+	for k, tm := range tms {
+		si := svcIdx[tm.service]
+		for _, op := range opts[si] {
+			if op.index == pick[si] {
+				rows[k] = op.lat[t]
+				break
+			}
+		}
+		if rows[k] == nil {
+			return assignment{}, false
+		}
+	}
+
+	const inf = math.MaxFloat64 / 4
+	dp := make([][]cell, len(tms)+1)
+	for k := range dp {
+		dp[k] = make([]cell, budget+1)
+		for b := range dp[k] {
+			dp[k][b] = cell{lat: inf, choice: -1}
+		}
+	}
+	dp[0][budget].lat = 0
+	for k := 0; k < len(tms); k++ {
+		for b := 0; b <= budget; b++ {
+			if dp[k][b].lat >= inf {
+				continue
+			}
+			for β, r := range residuals {
+				if r > b {
+					continue
+				}
+				nb := b - r
+				nl := dp[k][b].lat + rows[k][β]
+				if nl < dp[k+1][nb].lat {
+					dp[k+1][nb] = cell{lat: nl, choice: int8(β)}
+				}
+			}
+		}
+	}
+	bestB, bestLat := -1, inf
+	for b := 0; b <= budget; b++ {
+		if dp[len(tms)][b].lat < bestLat {
+			bestLat = dp[len(tms)][b].lat
+			bestB = b
+		}
+	}
+	if bestB == -1 || bestLat > m.targetMs(t) {
+		return assignment{}, false
+	}
+	// Recover choices.
+	percs := make([]float64, len(tms))
+	b := bestB
+	for k := len(tms); k >= 1; k-- {
+		β := dp[k][b].choice
+		percs[k-1] = Percentiles[β]
+		b += residuals[β]
+	}
+	return assignment{percentiles: percs, bound: bestLat}, true
+}
+
+// assignEqualSplit is the ablation percentile policy: every term gets the
+// same percentile (equal residual split).
+func (m *Model) assignEqualSplit(t int, tms []term, opts [][]option, pick []int, svcNames []string, budget int) (assignment, bool) {
+	β := equalSplitIndex(budget, len(tms))
+	if β == -1 {
+		return assignment{}, false
+	}
+	svcIdx := map[string]int{}
+	for i, n := range svcNames {
+		svcIdx[n] = i
+	}
+	bound := 0.0
+	percs := make([]float64, len(tms))
+	for k, tm := range tms {
+		si := svcIdx[tm.service]
+		var row []float64
+		for _, op := range opts[si] {
+			if op.index == pick[si] {
+				row = op.lat[t]
+				break
+			}
+		}
+		if row == nil {
+			return assignment{}, false
+		}
+		bound += row[β]
+		percs[k] = Percentiles[β]
+	}
+	if bound > m.targetMs(t) {
+		return assignment{}, false
+	}
+	return assignment{percentiles: percs, bound: bound}, true
+}
+
+// EstimateBound computes, for one class, the tightest Theorem 1 latency
+// bound from per-(service,class) latency samples of a single measurement
+// window — the estimator behind Fig. 9/10. dists maps "service/class" keys
+// to window samples.
+func EstimateBound(tgt ClassTarget, dists map[string][]float64) (float64, bool) {
+	budget := residualUnits(tgt.Percentile)
+	residuals := make([]int, len(Percentiles))
+	for b, p := range Percentiles {
+		residuals[b] = residualUnits(p)
+	}
+	rows := make([][]float64, len(tgt.Path))
+	for k, v := range tgt.Path {
+		samples := dists[v.Service+"/"+v.Class]
+		if len(samples) == 0 {
+			return 0, false
+		}
+		row := make([]float64, len(Percentiles))
+		for b, pp := range Percentiles {
+			row[b] = float64(v.Count) * stats.Percentile(samples, pp)
+		}
+		rows[k] = row
+	}
+	const inf = math.MaxFloat64 / 4
+	dp := make([][]float64, len(rows)+1)
+	for k := range dp {
+		dp[k] = make([]float64, budget+1)
+		for b := range dp[k] {
+			dp[k][b] = inf
+		}
+	}
+	dp[0][budget] = 0
+	for k := 0; k < len(rows); k++ {
+		for b := 0; b <= budget; b++ {
+			if dp[k][b] >= inf {
+				continue
+			}
+			for β, r := range residuals {
+				if r > b {
+					continue
+				}
+				if v := dp[k][b] + rows[k][β]; v < dp[k+1][b-r] {
+					dp[k+1][b-r] = v
+				}
+			}
+		}
+	}
+	best := inf
+	for b := 0; b <= budget; b++ {
+		if dp[len(rows)][b] < best {
+			best = dp[len(rows)][b]
+		}
+	}
+	if best >= inf {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profilesFile is the on-disk envelope for exploration output.
+type profilesFile struct {
+	Version  int                 `json:"version"`
+	Profiles map[string]*Profile `json:"profiles"`
+}
+
+// SaveProfiles serialises exploration output so a deployment can reuse it
+// without re-exploring (Ursa explores once per application version, §V.2).
+func SaveProfiles(w io.Writer, profiles map[string]*Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(profilesFile{Version: 1, Profiles: profiles})
+}
+
+// LoadProfiles reads exploration output saved by SaveProfiles.
+func LoadProfiles(r io.Reader) (map[string]*Profile, error) {
+	var f profilesFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding profiles: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported profiles version %d", f.Version)
+	}
+	if f.Profiles == nil {
+		return nil, fmt.Errorf("core: profiles file has no profiles")
+	}
+	for name, p := range f.Profiles {
+		if p == nil || p.Service == "" {
+			return nil, fmt.Errorf("core: profile %q is malformed", name)
+		}
+		p.SortPoints()
+	}
+	return f.Profiles, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfilesSaveLoadRoundTrip(t *testing.T) {
+	profiles := map[string]*Profile{
+		"svc": {
+			Service:          "svc",
+			CPUsPerReplica:   2,
+			BackpressureUtil: 0.55,
+			Samples:          40,
+			ExploreTime:      1200,
+			Points: []LPRPoint{
+				point(2, 25, 12, "a", "b"),
+				point(1, 50, 30, "a", "b"),
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SaveProfiles(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(profiles, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", profiles["svc"], got["svc"])
+	}
+}
+
+func TestLoadProfilesRejectsGarbage(t *testing.T) {
+	if _, err := LoadProfiles(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadProfiles(strings.NewReader(`{"version":9,"profiles":{}}`)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := LoadProfiles(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Fatal("missing profiles accepted")
+	}
+	if _, err := LoadProfiles(strings.NewReader(`{"version":1,"profiles":{"x":{}}}`)); err == nil {
+		t.Fatal("malformed profile accepted")
+	}
+}
+
+func TestLoadedProfilesUsableByModel(t *testing.T) {
+	m := twoServiceModel(150)
+	var buf bytes.Buffer
+	if err := SaveProfiles(&buf, m.Profiles); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Profiles = loaded
+	if _, err := m.Solve(); err != nil {
+		t.Fatalf("solve with loaded profiles: %v", err)
+	}
+}

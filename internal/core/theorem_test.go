@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/stats"
+)
+
+func TestResidualBudgetOK(t *testing.T) {
+	if !ResidualBudgetOK(99, []float64{99.5, 99.5}) {
+		t.Fatal("0.5+0.5 = 1 should satisfy a 1%% budget")
+	}
+	if ResidualBudgetOK(99, []float64{99, 99.5}) {
+		t.Fatal("1+0.5 > 1 should fail")
+	}
+	if !ResidualBudgetOK(50, EqualSplit(50, 5)) {
+		t.Fatal("equal split must satisfy the budget")
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	xs := EqualSplit(99, 4)
+	for _, x := range xs {
+		if x != 99.75 {
+			t.Fatalf("EqualSplit = %v", xs)
+		}
+	}
+	if !ResidualBudgetOK(99, xs) {
+		t.Fatal("equal split violates its own budget")
+	}
+}
+
+func TestLatencyBoundPanicsOnInvalidDecomposition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid decomposition")
+		}
+	}()
+	LatencyBound(99, [][]float64{{1}, {2}}, []float64{99, 99})
+}
+
+// TestTheorem1HoldsOnSimulatedChains verifies the bound on adversarially
+// correlated synthetic chains — the strongest claim of the theorem.
+func TestTheorem1HoldsOnSimulatedChains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		N := 3000
+		dists := make([][]float64, n)
+		for i := range dists {
+			dists[i] = make([]float64, N)
+		}
+		e2e := make([]float64, N)
+		// Mixture: comonotone (worst case for sums) and independent parts.
+		for k := 0; k < N; k++ {
+			u := rng.Float64()
+			for i := 0; i < n; i++ {
+				var v float64
+				if k%2 == 0 {
+					v = u * float64(i+1) * 10 // perfectly correlated
+				} else {
+					v = rng.ExpFloat64() * float64(i+1)
+				}
+				dists[i][k] = v
+				e2e[k] += v
+			}
+		}
+		xc := 95.0
+		xs := EqualSplit(xc, n)
+		bound := LatencyBound(xc, dists, xs)
+		actual := stats.Percentile(e2e, xc)
+		return actual <= bound*1.01 // tiny interpolation tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

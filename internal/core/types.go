@@ -1,0 +1,143 @@
+// Package core implements Ursa, the paper's contribution: the
+// backpressure-free threshold profiler (§III), the LPR allocation-space
+// explorer (Algorithm 1), the SLA-decomposition performance model and MIP
+// optimization engine (§IV), the threshold-based resource controller and the
+// anomaly detector (§V). It operates on applications simulated by
+// internal/services through the same narrow interface Ursa uses on
+// Kubernetes: read metrics, set replica counts.
+package core
+
+import (
+	"sort"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+)
+
+// Percentiles is the discretized percentile grid P of the MIP formulation.
+// Residuals (100−p) range from 50 down to 0.1 so that both p50 SLAs (video
+// pipeline low priority) and p99 SLAs over six-service chains have feasible
+// decompositions under Theorem 1.
+var Percentiles = []float64{50, 75, 90, 95, 99, 99.5, 99.8, 99.9}
+
+// residualUnit discretizes percentile residuals for the budget DP: one unit
+// = 0.1 percentile points.
+const residualUnit = 0.1
+
+// residualUnits converts a percentile to budget units (100−p)/0.1.
+func residualUnits(p float64) int {
+	return int((100-p)/residualUnit + 0.5)
+}
+
+// LPRPoint is one explored load-per-replica operating point of a service.
+type LPRPoint struct {
+	// Replicas the service had when the point was collected.
+	Replicas int
+	// LPR maps request class → mean requests/second per replica.
+	LPR map[string]float64
+	// RateSamples maps class → per-window per-replica RPS samples; the
+	// resource controller t-tests live load against these.
+	RateSamples map[string][]float64
+	// Latency maps class → sampled service-latency distribution (ms).
+	Latency map[string][]float64
+	// Util is the service's mean CPU utilisation at this point (0..1).
+	Util float64
+}
+
+// MaxLPR reports the largest per-class LPR of the point (used for ordering).
+func (p *LPRPoint) MaxLPR() float64 {
+	m := 0.0
+	for _, v := range p.LPR {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LatencyAt reports the q-th percentile service latency for a class at this
+// point (0 if the class was never observed).
+func (p *LPRPoint) LatencyAt(class string, q float64) float64 {
+	return stats.Percentile(p.Latency[class], q)
+}
+
+// Profile is the complete exploration output for one service.
+type Profile struct {
+	Service        string
+	CPUsPerReplica float64
+	// BackpressureUtil is the backpressure-free CPU utilisation threshold
+	// from §III profiling (1.0 when the service is not RPC-connected).
+	BackpressureUtil float64
+	// Points are explored LPR points in ascending load-per-replica order.
+	Points []LPRPoint
+	// Samples is the number of one-window samples collected.
+	Samples int
+	// ExploreTime is the simulated wall time the exploration took.
+	ExploreTime sim.Time
+}
+
+// SortPoints orders Points by ascending maximum LPR.
+func (p *Profile) SortPoints() {
+	sort.Slice(p.Points, func(i, j int) bool {
+		return p.Points[i].MaxLPR() < p.Points[j].MaxLPR()
+	})
+}
+
+// PathVisit is one service on a request class's flow, with how many times a
+// single request visits it. Per §IV, a service accessed multiple times
+// contributes the cumulative latency of all accesses.
+type PathVisit struct {
+	Service string
+	Class   string // effective class at this service (Call overrides)
+	Count   int
+}
+
+// ClassPath walks a class's flow through an application spec and returns the
+// visited services with visit counts. Spawned flows belong to their own
+// (derived) class and are excluded.
+func ClassPath(spec *services.AppSpec, class string) []PathVisit {
+	cs := spec.Class(class)
+	if cs == nil || cs.Entry == "" {
+		return nil
+	}
+	type key struct{ svc, class string }
+	counts := map[key]int{}
+	order := []key{}
+	var walkSvc func(svc, cls string)
+	var walkSteps func(svc, cls string, steps []services.Step)
+	walkSvc = func(svc, cls string) {
+		k := key{svc, cls}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+		ss := spec.ServiceSpecByName(svc)
+		if ss == nil {
+			return
+		}
+		walkSteps(svc, cls, ss.Handlers[cls])
+	}
+	walkSteps = func(svc, cls string, steps []services.Step) {
+		for _, st := range steps {
+			switch s := st.(type) {
+			case services.Call:
+				c := cls
+				if s.Class != "" {
+					c = s.Class
+				}
+				walkSvc(s.Service, c)
+			case services.Par:
+				for _, br := range s.Branches {
+					walkSteps(svc, cls, br)
+				}
+			}
+		}
+	}
+	walkSvc(cs.Entry, class)
+	out := make([]PathVisit, 0, len(order))
+	for _, k := range order {
+		out = append(out, PathVisit{Service: k.svc, Class: k.class, Count: counts[k]})
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"ursa/internal/topology"
+)
+
+func TestClassPathReadTimeline(t *testing.T) {
+	spec := topology.SocialNetwork()
+	path := ClassPath(&spec, topology.ReadTimeline)
+	want := map[string]int{"frontend": 1, "user-timeline": 1, "post-storage": 1}
+	if len(path) != len(want) {
+		t.Fatalf("path = %+v", path)
+	}
+	for _, v := range path {
+		if want[v.Service] != v.Count || v.Class != topology.ReadTimeline {
+			t.Fatalf("unexpected visit %+v", v)
+		}
+	}
+}
+
+func TestClassPathUploadPostExcludesSpawns(t *testing.T) {
+	spec := topology.SocialNetwork()
+	path := ClassPath(&spec, topology.UploadPost)
+	for _, v := range path {
+		switch v.Service {
+		case "home-timeline", "sentiment-ml", "object-detect-ml":
+			t.Fatalf("spawned service %s leaked into upload-post path", v.Service)
+		}
+	}
+	// frontend, compose-post, text, user, url-shorten, post-storage.
+	if len(path) != 6 {
+		t.Fatalf("upload-post path has %d services: %+v", len(path), path)
+	}
+}
+
+func TestClassPathDerivedClass(t *testing.T) {
+	spec := topology.SocialNetwork()
+	path := ClassPath(&spec, topology.ObjectDetect)
+	want := map[string]bool{"object-detect-ml": true, "image-store": true, "post-storage": true}
+	if len(path) != 3 {
+		t.Fatalf("object-detect path = %+v", path)
+	}
+	for _, v := range path {
+		if !want[v.Service] {
+			t.Fatalf("unexpected service %s", v.Service)
+		}
+	}
+}
+
+func TestClassPathMultipleVisits(t *testing.T) {
+	spec := topology.MediaService()
+	path := ClassPath(&spec, topology.TranscodeVideo)
+	for _, v := range path {
+		if v.Service == "video-store" && v.Count != 2 {
+			t.Fatalf("transcode visits video-store %d times, want 2", v.Count)
+		}
+	}
+}
+
+func TestResidualUnits(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{99, 10}, {99.9, 1}, {99.8, 2}, {50, 500}, {95, 50},
+	}
+	for _, c := range cases {
+		if got := residualUnits(c.p); got != c.want {
+			t.Errorf("residualUnits(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestProfileSortPoints(t *testing.T) {
+	p := Profile{Points: []LPRPoint{
+		{LPR: map[string]float64{"a": 30}},
+		{LPR: map[string]float64{"a": 10}},
+		{LPR: map[string]float64{"a": 20}},
+	}}
+	p.SortPoints()
+	if p.Points[0].MaxLPR() != 10 || p.Points[2].MaxLPR() != 30 {
+		t.Fatalf("points not sorted: %+v", p.Points)
+	}
+}
+
+func TestLatencyAt(t *testing.T) {
+	pt := LPRPoint{Latency: map[string][]float64{"a": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}}
+	if got := pt.LatencyAt("a", 50); got != 5.5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := pt.LatencyAt("missing", 50); got != 0 {
+		t.Fatalf("missing class latency = %v", got)
+	}
+}
+
+func TestTargetsFor(t *testing.T) {
+	spec := topology.VideoPipeline()
+	targets := TargetsFor(spec)
+	if len(targets) != 2 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	for _, tgt := range targets {
+		if len(tgt.Path) != 3 {
+			t.Fatalf("pipeline target path = %+v", tgt.Path)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ursa/internal/core"
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+	"ursa/internal/workload"
+)
+
+// AblationResult quantifies three design choices DESIGN.md calls out:
+//
+//  1. The Theorem 1 percentile-assignment freedom in MIP (1) vs a naive
+//     equal-split decomposition — measured as projected CPU cost.
+//  2. The Welch-t-test confirmation in the resource controller vs acting on
+//     raw threshold crossings — measured as scaling actions (flapping) and
+//     violation rate under noisy load.
+//  3. The backpressure-free exploration boundary (§III) vs exploring all
+//     the way to saturation — measured as deployment violation rate (the
+//     independence assumption of the model breaks beyond the threshold).
+type AblationResult struct {
+	// Percentile policy ablation.
+	BudgetCPUs     float64
+	EqualSplitCPUs float64
+	// EqualSplitFeasible is false when the naive decomposition cannot
+	// certify the SLAs at all.
+	EqualSplitFeasible bool
+
+	// Controller t-test ablation.
+	TTestActions, NoTTestActions      int
+	TTestViolation, NoTTestViolation  float64
+	TTestAvgCPUs, NoTTestAvgCPUs      float64
+	ThresholdOnViolation              float64
+	ThresholdOffViolation             float64
+	ThresholdOnCPUs, ThresholdOffCPUs float64
+}
+
+// RunAblation executes the three studies on the social network.
+func RunAblation(opts Options) AblationResult {
+	opts.defaults()
+	c, _ := AppCaseByName("social-network")
+	ex, profiles, _ := opts.ursaProfiles(c)
+	loads := ex.ServiceClassLoads()
+	var res AblationResult
+
+	// 1. Percentile policy.
+	opts.logf("ablation: percentile policy")
+	targets := core.TargetsFor(c.Spec)
+	budget := &core.Model{Profiles: profiles, Targets: targets, Loads: loads}
+	if sol, err := budget.Solve(); err == nil {
+		res.BudgetCPUs = sol.TotalCPUs
+	}
+	equal := &core.Model{Profiles: profiles, Targets: targets, Loads: loads, EqualSplitPercentiles: true}
+	if sol, err := equal.Solve(); err == nil {
+		res.EqualSplitFeasible = true
+		res.EqualSplitCPUs = sol.TotalCPUs
+	}
+
+	// 2. Controller t-test under load that hovers at a replica boundary:
+	// the offered rate sits right where ceil(load/threshold) flips, so a
+	// controller that acts on raw window estimates flaps while the t-test
+	// absorbs the noise.
+	opts.logf("ablation: controller t-test")
+	res.TTestActions, res.TTestViolation, res.TTestAvgCPUs = runBoundaryController(opts, false)
+	res.NoTTestActions, res.NoTTestViolation, res.NoTTestAvgCPUs = runBoundaryController(opts, true)
+
+	// 3. Backpressure threshold on/off during exploration.
+	opts.logf("ablation: backpressure-free exploration boundary")
+	exOff := &core.Explorer{Spec: c.Spec, Mix: c.Mix, TotalRPS: c.TotalRPS, Thresholds: map[string]float64{}}
+	for _, s := range c.Spec.Services {
+		exOff.Thresholds[s.Name] = 1.0 // explore all the way to saturation
+	}
+	profOff, _, err := exOff.ExploreAll(opts.exploreConfig())
+	runDeploy := func(p map[string]*core.Profile) (float64, float64) {
+		eng := sim.NewEngine(opts.Seed + 81)
+		app, err := services.NewApp(eng, c.Spec)
+		if err != nil {
+			panic(err)
+		}
+		mgr := core.NewManager(c.Spec, p)
+		if err := mgr.Run(app, c.Mix, c.TotalRPS, core.ControllerConfig{}, core.AnomalyConfig{}); err != nil {
+			panic(err)
+		}
+		gen := workload.New(eng, app, workload.Constant{Value: c.TotalRPS}, c.Mix)
+		gen.Start()
+		dur := opts.scaleTime(30*sim.Minute, 10*sim.Minute)
+		warm := 2 * sim.Minute
+		eng.RunUntil(warm)
+		a0 := app.AllocIntegralCPUSeconds()
+		eng.RunUntil(warm + dur)
+		a1 := app.AllocIntegralCPUSeconds()
+		mgr.Stop()
+		return violationRate(app, c.Spec, warm, warm+dur), (a1 - a0) / dur.Seconds()
+	}
+	res.ThresholdOnViolation, res.ThresholdOnCPUs = runDeploy(profiles)
+	if err == nil {
+		res.ThresholdOffViolation, res.ThresholdOffCPUs = runDeploy(profOff)
+	}
+	return res
+}
+
+// runBoundaryController deploys a single-service app whose load sits at a
+// replica-count boundary and counts scaling actions with and without the
+// Welch-t-test confirmation.
+func runBoundaryController(opts Options, disableTTest bool) (actions int, violation, cpus float64) {
+	spec := services.AppSpec{
+		Name: "boundary",
+		Services: []services.ServiceSpec{{
+			Name: "api", Threads: 2048, CPUs: 1, InitialReplicas: 4,
+			IngressCostMs: 0.1, IngressWindow: 32,
+			Handlers: map[string][]services.Step{
+				"req": services.Seq(services.Compute{MeanMs: 5, CV: 0.4}),
+			},
+		}},
+		Classes: []services.ClassSpec{{Name: "req", Entry: "api", SLAPercentile: 99, SLAMillis: 60}},
+	}
+	// Threshold 30 rps/replica; offered load 119 rps → ceil flips 4 ↔ 5
+	// with per-window Poisson noise.
+	sol := &core.Solution{Choices: map[string]*core.Choice{
+		"api": {
+			Service:     "api",
+			LPR:         map[string]float64{"req": 30},
+			RateSamples: map[string][]float64{"req": {29.4, 29.8, 30.0, 30.2, 30.6}},
+		},
+	}}
+	eng := sim.NewEngine(opts.Seed + 80)
+	app, err := services.NewApp(eng, spec)
+	if err != nil {
+		panic(err)
+	}
+	ctl := core.NewController(app, sol, core.ControllerConfig{
+		Headroom:     1.0,
+		DisableTTest: disableTTest,
+	})
+	prev := app.Service("api").Replicas()
+	tick := eng.Every(sim.Minute, func() {
+		ctl.Tick()
+		if r := app.Service("api").Replicas(); r != prev {
+			actions++
+			prev = r
+		}
+	})
+	gen := workload.New(eng, app, workload.Constant{Value: 119}, workload.Mix{"req": 1})
+	gen.Start()
+	dur := opts.scaleTime(60*sim.Minute, 20*sim.Minute)
+	warm := 2 * sim.Minute
+	eng.RunUntil(warm)
+	a0 := app.AllocIntegralCPUSeconds()
+	eng.RunUntil(warm + dur)
+	a1 := app.AllocIntegralCPUSeconds()
+	tick.Stop()
+	violation = violationRate(app, spec, warm, warm+dur)
+	cpus = (a1 - a0) / dur.Seconds()
+	return actions, violation, cpus
+}
+
+// violationRate computes the per-(class,window) violation fraction.
+func violationRate(app *services.App, spec services.AppSpec, from, to sim.Time) float64 {
+	total, violated := 0, 0
+	for _, cs := range spec.Classes {
+		rec := app.E2E.Class(cs.Name)
+		if rec == nil {
+			continue
+		}
+		for w := from; w < to; w += sim.Minute {
+			vals := rec.Between(w, w+sim.Minute)
+			if len(vals) == 0 {
+				continue
+			}
+			total++
+			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+				violated++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(violated) / float64(total)
+}
+
+// Render prints the three ablation tables.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation 1 — percentile assignment in MIP (1):\n")
+	fmt.Fprintf(&b, "  optimized budget DP: %8.1f CPUs\n", r.BudgetCPUs)
+	if r.EqualSplitFeasible {
+		fmt.Fprintf(&b, "  naive equal split:   %8.1f CPUs  (+%.1f%%)\n",
+			r.EqualSplitCPUs, 100*(r.EqualSplitCPUs-r.BudgetCPUs)/r.BudgetCPUs)
+	} else {
+		b.WriteString("  naive equal split:   infeasible (cannot certify the SLAs)\n")
+	}
+	b.WriteString("\nAblation 2 — controller t-test under constant (noisy) load:\n")
+	fmt.Fprintf(&b, "  with t-test:    %4d scaling actions  %5.1f%% violations  %7.1f CPUs\n",
+		r.TTestActions, r.TTestViolation*100, r.TTestAvgCPUs)
+	fmt.Fprintf(&b, "  without t-test: %4d scaling actions  %5.1f%% violations  %7.1f CPUs\n",
+		r.NoTTestActions, r.NoTTestViolation*100, r.NoTTestAvgCPUs)
+	b.WriteString("\nAblation 3 — backpressure-free exploration boundary:\n")
+	fmt.Fprintf(&b, "  thresholds on:  %5.1f%% violations  %7.1f CPUs\n", r.ThresholdOnViolation*100, r.ThresholdOnCPUs)
+	fmt.Fprintf(&b, "  thresholds off: %5.1f%% violations  %7.1f CPUs\n", r.ThresholdOffViolation*100, r.ThresholdOffCPUs)
+	return b.String()
+}

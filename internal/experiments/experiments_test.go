@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ursa/internal/topology"
+)
+
+// quick returns smoke-scale options; experiments assert the paper's *shapes*
+// even at this scale.
+func quick() Options { return Options{Seed: 1, Scale: 0.25} }
+
+func TestBackpressureShapes(t *testing.T) {
+	r := RunBackpressure(quick())
+	if len(r.Grid) != 3 {
+		t.Fatalf("modes = %d", len(r.Grid))
+	}
+	nested := r.Inflation("nested-rpc")
+	if nested[3] < 3 {
+		t.Errorf("nested: tier4 inflation %.1fx, want ≥3x", nested[3])
+	}
+	if nested[1] > 1.5 || nested[2] > 1.5 {
+		t.Errorf("nested: backpressure did not attenuate: %v", nested)
+	}
+	event := r.Inflation("event-rpc")
+	if event[3] < 2 {
+		t.Errorf("event: tier4 inflation %.1fx, want ≥2x", event[3])
+	}
+	mq := r.Inflation("mq")
+	for tier := 0; tier < 4; tier++ {
+		if mq[tier] > 1.5 {
+			t.Errorf("mq: tier%d inflated %.1fx", tier+1, mq[tier])
+		}
+	}
+	if mq[4] < 2 {
+		t.Errorf("mq: throttled leaf should inflate: %v", mq)
+	}
+	if !strings.Contains(r.Render(), "nested-rpc") {
+		t.Error("render missing nested-rpc section")
+	}
+}
+
+func TestProfilingShapes(t *testing.T) {
+	r := RunProfiling(quick())
+	for _, name := range []string{"post-storage", "user-timeline"} {
+		pr, ok := r.Services[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		// Paper thresholds: 46.2% and 60.0%; ours must land mid-range.
+		if pr.Threshold < 0.25 || pr.Threshold > 0.9 {
+			t.Errorf("%s threshold = %.2f, want mid-range", name, pr.Threshold)
+		}
+		// Backpressure visible: >5x latency at the tightest limit.
+		first, last := pr.Steps[0], pr.Steps[len(pr.Steps)-1]
+		if first.ProxyP99Mean < last.ProxyP99Mean*5 {
+			t.Errorf("%s: no clear backpressure (%.1f vs %.1f)", name, first.ProxyP99Mean, last.ProxyP99Mean)
+		}
+		if !last.Converged {
+			t.Errorf("%s: sweep never converged", name)
+		}
+	}
+}
+
+func TestExplorationOverheadShapes(t *testing.T) {
+	r := RunExploration(quick())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The headline: ≥16x fewer samples and ≥128x less exploration time.
+		if row.SampleRatio < 10 {
+			t.Errorf("%s: sample ratio %.1fx too small", row.App, row.SampleRatio)
+		}
+		if row.TimeRatio < 128 {
+			t.Errorf("%s: time ratio %.1fx, paper reports >128x", row.App, row.TimeRatio)
+		}
+		if row.UrsaSamples <= 0 || row.UrsaHours <= 0 {
+			t.Errorf("%s: empty accounting %+v", row.App, row)
+		}
+	}
+	if !strings.Contains(r.Render(), "Table V") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAccuracyShapes(t *testing.T) {
+	c, _ := AppCaseByName("social-network")
+	r := RunAccuracy(quick(), c, []string{topology.UploadPost, topology.UpdateTimeline})
+	for class, ratio := range r.Ratio {
+		// Paper: mean estimated/measured between 0.96 and 1.05; allow a
+		// wider band at smoke scale.
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Errorf("%s: est/meas ratio %.2f out of range", class, ratio)
+		}
+		if len(r.Series[class]) == 0 {
+			t.Errorf("%s: no accuracy points", class)
+		}
+	}
+}
+
+func TestControlPlaneShapes(t *testing.T) {
+	r := RunControlPlane(quick())
+	ursa, sinan := r.DeployMs["ursa"], r.DeployMs["sinan"]
+	if ursa <= 0 || sinan <= 0 {
+		t.Fatalf("missing deploy latencies: %+v", r.DeployMs)
+	}
+	// The paper's headline: Ursa's decisions are orders of magnitude
+	// faster than Sinan's centralized model inference.
+	if sinan < ursa*10 {
+		t.Errorf("sinan (%.3fms) should be ≫ ursa (%.3fms)", sinan, ursa)
+	}
+	if auto := r.DeployMs["auto-a"]; auto > ursa*10 {
+		t.Errorf("autoscaling (%.3f) should be at least as fast as ursa (%.3f)", auto, ursa)
+	}
+	if r.UpdateMs["ursa"] <= 0 {
+		t.Error("ursa update latency missing")
+	}
+	if !strings.Contains(r.Render(), "Table VI") {
+		t.Error("render missing header")
+	}
+}
+
+func TestDiurnalShapes(t *testing.T) {
+	r := RunDiurnal(quick())
+	if len(r.Services) == 0 {
+		t.Fatal("no traces")
+	}
+	// Ursa must scale at least one tracked service up and down with load.
+	scaled := false
+	for name := range r.Services {
+		lo, hi := r.ScalingRange(name)
+		if hi > lo {
+			scaled = true
+		}
+	}
+	if !scaled {
+		t.Error("no service scaled under diurnal load")
+	}
+}
+
+func TestAdaptationShapes(t *testing.T) {
+	r := RunAdaptation(quick())
+	// Partial re-exploration must be much cheaper than a full one.
+	if r.ReexploreSamples <= 0 || r.ReexploreSamples > 120 {
+		t.Errorf("re-exploration samples = %d", r.ReexploreSamples)
+	}
+	// Both deployments hold the 10s SLA: the fraction of requests over the
+	// target stays in the low percents (paper: 0.62% and 0.50%).
+	if r.ViolationRateOriginal > 0.03 {
+		t.Errorf("original request-violation rate %.2f%%", r.ViolationRateOriginal*100)
+	}
+	if r.ViolationRateUpdated > 0.03 {
+		t.Errorf("updated request-violation rate %.2f%%", r.ViolationRateUpdated*100)
+	}
+	if len(r.Original) == 0 || len(r.Updated) == 0 {
+		t.Fatal("missing latency samples")
+	}
+	// The lighter model must be visibly faster.
+	xs, ys := CDF(r.Updated)
+	if len(xs) != len(ys) || ys[len(ys)-1] != 1 {
+		t.Error("CDF malformed")
+	}
+}
+
+func TestComparisonShapesSocial(t *testing.T) {
+	r := RunComparison(quick(), []string{"social-network"}, nil)
+	if len(r.Cells) != 15 {
+		t.Fatalf("cells = %d, want 15", len(r.Cells))
+	}
+	for _, load := range []string{"constant", "dynamic", "skewed"} {
+		ursa, _ := r.Cell("social-network", load, "ursa")
+		autob, _ := r.Cell("social-network", load, "auto-b")
+		firm, _ := r.Cell("social-network", load, "firm")
+		// Ursa keeps violations low (paper: 0.1–8.5%).
+		if ursa.ViolationRate > 0.15 {
+			t.Errorf("%s: ursa violation rate %.1f%%", load, ursa.ViolationRate*100)
+		}
+		// Auto-b and Firm allocate substantially more than Ursa.
+		if autob.AvgCPUs < ursa.AvgCPUs*1.2 {
+			t.Errorf("%s: auto-b (%.0f) should allocate ≫ ursa (%.0f)", load, autob.AvgCPUs, ursa.AvgCPUs)
+		}
+		if firm.AvgCPUs < ursa.AvgCPUs*1.2 {
+			t.Errorf("%s: firm (%.0f) should allocate ≫ ursa (%.0f)", load, firm.AvgCPUs, ursa.AvgCPUs)
+		}
+	}
+	// Under dynamic load, default autoscaling suffers the most violations.
+	ua, _ := r.Cell("social-network", "dynamic", "auto-a")
+	ursa, _ := r.Cell("social-network", "dynamic", "ursa")
+	if ua.ViolationRate <= ursa.ViolationRate {
+		t.Errorf("dynamic: auto-a (%.1f%%) should violate more than ursa (%.1f%%)",
+			ua.ViolationRate*100, ursa.ViolationRate*100)
+	}
+	if !strings.Contains(r.Render(), "Fig.11") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	r := RunAblation(quick())
+	// The optimized percentile DP never costs more than the naive split.
+	if r.EqualSplitFeasible && r.EqualSplitCPUs < r.BudgetCPUs-1e-9 {
+		t.Errorf("equal split (%f) beat the DP (%f)", r.EqualSplitCPUs, r.BudgetCPUs)
+	}
+	if r.BudgetCPUs <= 0 {
+		t.Fatal("budget solve failed")
+	}
+	// Removing the t-test must not reduce scaling actions (it exists to
+	// absorb noise-induced flapping).
+	if r.NoTTestActions < r.TTestActions {
+		t.Errorf("no-ttest actions (%d) < ttest actions (%d)", r.NoTTestActions, r.TTestActions)
+	}
+	// Both exploration variants should deploy; threshold-off must not be
+	// dramatically safer (it explores an unsafe region).
+	if r.ThresholdOnViolation > 0.2 {
+		t.Errorf("threshold-on violations %.1f%%", r.ThresholdOnViolation*100)
+	}
+	if !strings.Contains(r.Render(), "Ablation 1") {
+		t.Error("render missing")
+	}
+}
+
+func TestSolveGenericMIPWiring(t *testing.T) {
+	// The exact MIP (1) toy instance: δ picks the cheap points (cost 2+3)
+	// whose best percentile latencies 10+15 fit the 40ms target.
+	if got := SolveGenericMIP(); got != 5 {
+		t.Fatalf("SolveGenericMIP = %v, want 5", got)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/workload"
+)
+
+// DiurnalPoint is one minute of the Fig. 13 trace for one service.
+type DiurnalPoint struct {
+	Minute int
+	RPS    float64
+	CPUs   float64
+}
+
+// DiurnalResult reproduces Fig. 13: per-service load and CPU allocation
+// under a diurnal pattern when managed by Ursa.
+type DiurnalResult struct {
+	App      string
+	Services map[string][]DiurnalPoint
+}
+
+// RunDiurnal deploys Ursa on the social network under a diurnal load and
+// traces representative services.
+func RunDiurnal(opts Options) DiurnalResult {
+	opts.defaults()
+	c, _ := AppCaseByName("social-network")
+	tracked := []string{"compose-post", "post-storage", "user-timeline", "sentiment-ml"}
+
+	ursa := opts.newUrsa(c)
+	dur := opts.scaleTime(48*sim.Minute, 16*sim.Minute)
+	eng := sim.NewEngine(opts.Seed + 7)
+	app, err := services.NewApp(eng, c.Spec)
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.New(eng, app, workload.Diurnal{
+		Base: c.TotalRPS * 0.5, Peak: c.TotalRPS * 1.5, Period: dur,
+	}, c.Mix)
+	gen.Start()
+	ursa.Attach(app)
+
+	res := DiurnalResult{App: c.Name, Services: map[string][]DiurnalPoint{}}
+	minute := 0
+	probe := eng.Every(sim.Minute, func() {
+		now := eng.Now()
+		for _, name := range tracked {
+			svc := app.Service(name)
+			res.Services[name] = append(res.Services[name], DiurnalPoint{
+				Minute: minute,
+				RPS:    svc.ArrivalsAll.Rate(now-sim.Minute, now),
+				CPUs:   svc.AllocatedCPUs(),
+			})
+		}
+		minute++
+	})
+	eng.RunUntil(dur)
+	probe.Stop()
+	ursa.Detach()
+	return res
+}
+
+// Render prints the per-service traces.
+func (r DiurnalResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.13 — %s under diurnal load (Ursa): per-minute RPS and CPU allocation\n", r.App)
+	for name, pts := range r.Services {
+		fmt.Fprintf(&b, "\n%s:\n%8s %10s %8s\n", name, "min", "rps", "cpus")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "%8d %10.1f %8.1f\n", p.Minute, p.RPS, p.CPUs)
+		}
+	}
+	return b.String()
+}
+
+// ScalingRange reports min/max allocated CPUs per tracked service — the
+// Fig. 13 takeaway is that allocation follows load up and down.
+func (r DiurnalResult) ScalingRange(service string) (min, max float64) {
+	pts := r.Services[service]
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	min, max = pts[0].CPUs, pts[0].CPUs
+	for _, p := range pts {
+		if p.CPUs < min {
+			min = p.CPUs
+		}
+		if p.CPUs > max {
+			max = p.CPUs
+		}
+	}
+	return min, max
+}

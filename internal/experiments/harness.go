@@ -1,0 +1,329 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the simulated testbed: the backpressure study
+// (Fig. 2), threshold profiling (Fig. 4), exploration overhead (Table V),
+// model accuracy (Fig. 9/10), the performance comparison (Fig. 11/12), the
+// diurnal scaling trace (Fig. 13), control-plane latency (Table VI) and
+// adaptation to service changes (Fig. 14).
+//
+// Every experiment takes Options so benchmarks can trade fidelity for run
+// time: Scale < 1 shortens deployments and sample counts proportionally
+// without changing the workload shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ursa/internal/baselines"
+	"ursa/internal/baselines/autoscale"
+	"ursa/internal/baselines/firm"
+	"ursa/internal/baselines/sinan"
+	"ursa/internal/core"
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+	"ursa/internal/topology"
+	"ursa/internal/workload"
+)
+
+// Options controls experiment scale and reproducibility.
+type Options struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Scale shrinks run durations and ML sample counts (1.0 = paper-like
+	// proportions, 0.2 = quick smoke run).
+	Scale float64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// scaleInt scales a count, with a floor.
+func (o *Options) scaleInt(n, min int) int {
+	v := int(float64(n) * o.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaleTime scales a duration, with a floor.
+func (o *Options) scaleTime(t, min sim.Time) sim.Time {
+	v := sim.Time(float64(t) * o.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// AppCase is one benchmark application with its nominal load.
+type AppCase struct {
+	Name     string
+	Spec     services.AppSpec
+	Mix      workload.Mix
+	TotalRPS float64
+}
+
+// AppCases returns the §VII-E evaluation applications.
+func AppCases() []AppCase {
+	return []AppCase{
+		{"social-network", topology.SocialNetwork(), topology.SocialNetworkMix(), 100},
+		{"vanilla-social-network", topology.VanillaSocialNetwork(), topology.VanillaSocialNetworkMix(), 100},
+		{"media-service", topology.MediaService(), topology.MediaServiceMix(), 60},
+		{"video-pipeline", topology.VideoPipeline(), topology.VideoPipelineMix(50, 50), 4},
+	}
+}
+
+// AppCaseByName finds a case.
+func AppCaseByName(name string) (AppCase, bool) {
+	for _, c := range AppCases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return AppCase{}, false
+}
+
+// exploreWindow is the shortened exploration window used by the harness; the
+// Table V accounting still charges one minute per sample, like the paper.
+const exploreWindow = 15 * sim.Second
+
+// exploreConfig builds the Ursa exploration settings for an app case.
+func (o *Options) exploreConfig() core.ExploreConfig {
+	return core.ExploreConfig{
+		WindowsPerPoint:  o.scaleInt(10, 4),
+		Window:           exploreWindow,
+		SLAViolationFreq: 0.10,
+		Seed:             o.Seed,
+	}
+}
+
+// profileCache memoises exploration output per (app, seed, scale): the
+// experiments share one exploration per application, exactly as the paper
+// explores once and reuses the profiles across every deployment run.
+var profileCache = map[string]profileCacheEntry{}
+
+type profileCacheEntry struct {
+	ex       *core.Explorer
+	profiles map[string]*core.Profile
+	sum      core.ExplorationSummary
+}
+
+// ursaProfiles runs backpressure profiling + LPR exploration for an app and
+// returns the explorer, profiles and Table V accounting.
+func (o *Options) ursaProfiles(c AppCase) (*core.Explorer, map[string]*core.Profile, core.ExplorationSummary) {
+	key := fmt.Sprintf("%s/%d/%.3f", c.Name, o.Seed, o.Scale)
+	if e, ok := profileCache[key]; ok {
+		return e.ex, e.profiles, e.sum
+	}
+	ex, profiles, sum := o.ursaProfilesUncached(c)
+	profileCache[key] = profileCacheEntry{ex: ex, profiles: profiles, sum: sum}
+	return ex, profiles, sum
+}
+
+func (o *Options) ursaProfilesUncached(c AppCase) (*core.Explorer, map[string]*core.Profile, core.ExplorationSummary) {
+	ex := &core.Explorer{
+		Spec:       c.Spec,
+		Mix:        c.Mix,
+		TotalRPS:   c.TotalRPS,
+		Thresholds: map[string]float64{},
+	}
+	// Backpressure thresholds for RPC-connected services (§III).
+	loads := ex.ServiceClassLoads()
+	for i := range c.Spec.Services {
+		ss := c.Spec.Services[i]
+		if ss.IngressCostMs <= 0 {
+			ex.Thresholds[ss.Name] = 1.0
+			continue
+		}
+		perReplica := core.ScaleProfilingLoad(ss, loads[ss.Name], 0.85)
+		res := core.ProfileBackpressureThreshold(ss, perReplica, core.ProfilerConfig{
+			Seed:           o.Seed,
+			WindowsPerStep: o.scaleInt(8, 4),
+			Window:         15 * sim.Second,
+			// Coarser sweep than Fig. 4's: the harness only needs the
+			// threshold, not the full curve.
+			Factors: []float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0},
+		})
+		thr := res.Threshold
+		if thr < 0.3 {
+			thr = 0.3 // degenerate sweeps floor at a conservative value
+		}
+		ex.Thresholds[ss.Name] = thr
+	}
+	profiles, sum, err := ex.ExploreAll(o.exploreConfig())
+	if err != nil {
+		panic(fmt.Sprintf("exploration for %s failed: %v", c.Name, err))
+	}
+	return ex, profiles, sum
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ursaManager builds a ready-to-attach Ursa manager for an app case.
+type ursaAdapter struct {
+	mgr      *core.Manager
+	mix      workload.Mix
+	totalRPS float64
+}
+
+func (u *ursaAdapter) Name() string { return "ursa" }
+func (u *ursaAdapter) Attach(app *services.App) {
+	if err := u.mgr.Run(app, u.mix, u.totalRPS, core.ControllerConfig{}, core.AnomalyConfig{}); err != nil {
+		panic(fmt.Sprintf("ursa deploy failed: %v", err))
+	}
+}
+func (u *ursaAdapter) Detach() { u.mgr.Stop() }
+func (u *ursaAdapter) AvgDecisionMillis() float64 {
+	if u.mgr.Controller == nil {
+		return 0
+	}
+	return u.mgr.Controller.AvgDecisionMillis()
+}
+
+var _ baselines.Manager = (*ursaAdapter)(nil)
+
+// newUrsa prepares Ursa (exploration + model) for a case.
+func (o *Options) newUrsa(c AppCase) *ursaAdapter {
+	_, profiles, _ := o.ursaProfiles(c)
+	mgr := core.NewManager(c.Spec, profiles)
+	return &ursaAdapter{mgr: mgr, mix: c.Mix, totalRPS: c.TotalRPS}
+}
+
+// newSinan collects data and trains Sinan for a case.
+func (o *Options) newSinan(c AppCase) *sinan.Sinan {
+	res := sinan.Collect(c.Spec, c.Mix, c.TotalRPS, sinan.CollectConfig{
+		Samples: o.scaleInt(1000, 150),
+		Window:  exploreWindow,
+		Seed:    o.Seed,
+	})
+	return sinan.Train(c.Spec, res.SvcNames, res.RPSNorm, res.Samples, sinan.Config{
+		Seed:   o.Seed,
+		Epochs: o.scaleInt(60, 20),
+	})
+}
+
+// newFirm pretrains Firm for a case.
+func (o *Options) newFirm(c AppCase) *firm.Firm {
+	f := firm.New(c.Spec, specServiceNames(c.Spec), c.TotalRPS*2, firm.Config{Seed: o.Seed})
+	firm.Pretrain(f, c.Mix, c.TotalRPS, firm.PretrainConfig{
+		Samples: o.scaleInt(1000, 150),
+		Window:  exploreWindow,
+		Seed:    o.Seed,
+	})
+	f.SetExplore(false)
+	return f
+}
+
+// UrsaProfiles exposes the exploration pipeline (profiling + Algorithm 1)
+// for the CLI tools.
+func (o *Options) UrsaProfiles(c AppCase) (*core.Explorer, map[string]*core.Profile, core.ExplorationSummary) {
+	o.defaults()
+	return o.ursaProfiles(c)
+}
+
+// NewUrsaManager prepares Ursa (profiling + exploration + model) for a case.
+func (o *Options) NewUrsaManager(c AppCase) baselines.Manager {
+	o.defaults()
+	return o.newUrsa(c)
+}
+
+// NewSinanManager collects data and trains Sinan for a case.
+func (o *Options) NewSinanManager(c AppCase) baselines.Manager {
+	o.defaults()
+	return o.newSinan(c)
+}
+
+// NewFirmManager pretrains Firm for a case.
+func (o *Options) NewFirmManager(c AppCase) baselines.Manager {
+	o.defaults()
+	return o.newFirm(c)
+}
+
+// autoscaleA and autoscaleB build the two autoscaling baselines.
+func autoscaleA() baselines.Manager { return autoscale.New(autoscale.AutoA()) }
+func autoscaleB() baselines.Manager { return autoscale.New(autoscale.AutoB()) }
+
+func specServiceNames(spec services.AppSpec) []string {
+	out := make([]string, 0, len(spec.Services))
+	for _, s := range spec.Services {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deployResult is the outcome of one managed deployment run.
+type deployResult struct {
+	ViolationRate float64
+	AvgCPUs       float64
+	DecisionMs    float64
+}
+
+// runDeployment attaches a manager to a fresh app, drives the load pattern
+// for the given duration, and measures the §VII-E metrics: per-window SLA
+// violation rate and average allocated CPUs.
+func (o *Options) runDeployment(c AppCase, mgr baselines.Manager, pattern workload.Pattern, mix workload.Mix, dur sim.Time) deployResult {
+	eng := sim.NewEngine(o.Seed + 1000)
+	app, err := services.NewApp(eng, c.Spec)
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.New(eng, app, pattern, mix)
+	gen.Start()
+	mgr.Attach(app)
+
+	warm := 2 * sim.Minute
+	eng.RunUntil(warm)
+	allocStart := app.AllocIntegralCPUSeconds()
+	eng.RunUntil(warm + dur)
+	allocEnd := app.AllocIntegralCPUSeconds()
+	mgr.Detach()
+
+	// Violation rate: fraction of (class, window) pairs violating.
+	total, violated := 0, 0
+	for _, cs := range c.Spec.Classes {
+		rec := app.E2E.Class(cs.Name)
+		if rec == nil {
+			continue
+		}
+		for w := warm; w < warm+dur; w += sim.Minute {
+			vals := rec.Between(w, w+sim.Minute)
+			if len(vals) == 0 {
+				continue
+			}
+			total++
+			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+				violated++
+			}
+		}
+	}
+	res := deployResult{
+		AvgCPUs:    (allocEnd - allocStart) / dur.Seconds(),
+		DecisionMs: mgr.AvgDecisionMillis(),
+	}
+	if total > 0 {
+		res.ViolationRate = float64(violated) / float64(total)
+	}
+	return res
+}

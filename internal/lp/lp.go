@@ -1,0 +1,232 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A x ≤ b,  x ≥ 0
+//
+// It is the LP engine underneath the branch-and-bound MIP solver
+// (internal/mip), which together substitute for the Gurobi dependency of the
+// paper's optimization engine (§V.3).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// LP is a linear program: minimize C·x subject to A x ≤ B, x ≥ 0.
+type LP struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Result is the outcome of solving an LP.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex with Bland's anti-cycling rule.
+func Solve(p LP) Result {
+	m, n := len(p.A), len(p.C)
+	for i, row := range p.A {
+		if len(row) != n {
+			panic(fmt.Sprintf("lp: row %d has %d coefficients, want %d", i, len(row), n))
+		}
+	}
+	if len(p.B) != m {
+		panic("lp: len(B) != rows of A")
+	}
+
+	// Tableau columns: [x(n) | slack(m) | artificial(k) | rhs], where the
+	// k artificials cover rows with negative b.
+	negRows := 0
+	for _, bv := range p.B {
+		if bv < -eps {
+			negRows++
+		}
+	}
+	k := negRows
+	nStruct := n + m // structural columns (decision + slack)
+	cols := nStruct + k + 1
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, cols)
+	}
+	basis := make([]int, m)
+	artRows := []int{}
+	ai := 0
+	for i := 0; i < m; i++ {
+		copy(t[i], p.A[i])
+		t[i][n+i] = 1
+		t[i][cols-1] = p.B[i]
+		basis[i] = n + i
+		if p.B[i] < -eps {
+			// Negate the row so rhs ≥ 0 (slack coefficient becomes −1) and
+			// add an artificial basis variable.
+			for j := 0; j < cols; j++ {
+				t[i][j] = -t[i][j]
+			}
+			col := nStruct + ai
+			t[i][col] = 1
+			basis[i] = col
+			artRows = append(artRows, i)
+			ai++
+		}
+	}
+
+	if k > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		obj := t[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for a := 0; a < k; a++ {
+			obj[nStruct+a] = 1
+		}
+		for _, i := range artRows {
+			for j := 0; j < cols; j++ {
+				t[m][j] -= t[i][j]
+			}
+		}
+		if !iterate(t, basis, cols, cols-1) {
+			return Result{Status: Infeasible}
+		}
+		if -t[m][cols-1] > 1e-7 {
+			return Result{Status: Infeasible}
+		}
+		// Drive remaining artificial variables out of the basis where
+		// possible; rows where it isn't are redundant with artificial = 0.
+		for i := 0; i < m; i++ {
+			if basis[i] >= nStruct {
+				for j := 0; j < nStruct; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(t, basis, i, j, cols)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: install the real objective and price out basic columns.
+	obj := t[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.C[j]
+	}
+	for i, bi := range basis {
+		if bi < n && math.Abs(obj[bi]) > eps {
+			coef := obj[bi]
+			for j := 0; j < cols; j++ {
+				obj[j] -= coef * t[i][j]
+			}
+		}
+	}
+	// Only structural columns may enter in phase 2.
+	if !iterate(t, basis, cols, nStruct) {
+		return Result{Status: Unbounded}
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t[i][cols-1]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.C[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Obj: objVal}
+}
+
+// iterate runs simplex pivots until optimal (true) or unbounded (false).
+// Entering candidates are restricted to columns < maxEnter.
+func iterate(t [][]float64, basis []int, cols, maxEnter int) bool {
+	m := len(basis)
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			panic("lp: iteration limit exceeded (cycling?)")
+		}
+		// Entering column: Bland's rule — smallest index with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < maxEnter; j++ {
+			if t[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		// Leaving row: minimum ratio, Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][cols-1] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return false
+		}
+		pivot(t, basis, leave, enter, cols)
+	}
+}
+
+func pivot(t [][]float64, basis []int, row, col, cols int) {
+	pv := t[row][col]
+	for j := 0; j < cols; j++ {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if math.Abs(f) <= eps {
+			t[i][col] = 0
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,171 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+	r := Solve(LP{
+		C: []float64{-3, -5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !near(r.Obj, -36) || !near(r.X[0], 2) || !near(r.X[1], 6) {
+		t.Fatalf("got x=%v obj=%v", r.X, r.Obj)
+	}
+}
+
+func TestTrivialMinimumAtOrigin(t *testing.T) {
+	r := Solve(LP{C: []float64{1, 1}, A: [][]float64{{1, 1}}, B: []float64{10}})
+	if r.Status != Optimal || !near(r.Obj, 0) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestGreaterEqualConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y ≥ 4 (−x − y ≤ −4), y ≤ 3 → x=4, y=0, obj 4.
+	r := Solve(LP{
+		C: []float64{1, 2},
+		A: [][]float64{{-1, -1}, {0, 1}},
+		B: []float64{-4, 3},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !near(r.Obj, 4) || !near(r.X[0], 4) {
+		t.Fatalf("x=%v obj=%v", r.X, r.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 3.
+	r := Solve(LP{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x with x ≥ 0 and only a lower-bound style constraint.
+	r := Solve(LP{C: []float64{-1}, A: [][]float64{{-1}}, B: []float64{0}})
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestEqualityViaTwoInequalities(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 5 (≤ and ≥), x ≤ 3 → y ≥ 2; pick x=3,y=2 → 12.
+	r := Solve(LP{
+		C: []float64{2, 3},
+		A: [][]float64{{1, 1}, {-1, -1}, {1, 0}},
+		B: []float64{5, -5, 3},
+	})
+	if r.Status != Optimal || !near(r.Obj, 12) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (with Bland's rule it must terminate).
+	r := Solve(LP{
+		C: []float64{-0.75, 150, -0.02, 6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		B: []float64{0, 0, 1},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !near(r.Obj, -0.05) {
+		t.Fatalf("obj = %v, want -0.05", r.Obj)
+	}
+}
+
+func TestRedundantConstraint(t *testing.T) {
+	// Duplicate rows should not break phase 1/2.
+	r := Solve(LP{
+		C: []float64{1, 1},
+		A: [][]float64{{-1, -1}, {-1, -1}, {1, 0}},
+		B: []float64{-2, -2, 5},
+	})
+	if r.Status != Optimal || !near(r.Obj, 2) {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+// Property: on random feasible-by-construction problems, the solution
+// satisfies all constraints and is at least as good as a random feasible
+// point.
+func TestRandomProblemsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		p := LP{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		x0 := make([]float64, n) // a known feasible point
+		for j := range x0 {
+			x0[j] = rng.Float64() * 5
+			p.C[j] = rng.Float64()*4 - 1
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64()*2 - 0.5
+				lhs += p.A[i][j] * x0[j]
+			}
+			p.B[i] = lhs + rng.Float64() // slack ensures feasibility of x0
+		}
+		r := Solve(p)
+		if r.Status == Infeasible {
+			return false // x0 is feasible by construction
+		}
+		if r.Status == Unbounded {
+			return true // possible with negative costs; fine
+		}
+		// Check feasibility of the reported optimum.
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if r.X[j] < -1e-7 {
+					return false
+				}
+				lhs += p.A[i][j] * r.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		// Optimality vs. the known feasible point.
+		obj0 := 0.0
+		for j := 0; j < n; j++ {
+			obj0 += p.C[j] * x0[j]
+		}
+		return r.Obj <= obj0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,256 @@
+// Package metrics implements the tracing/monitoring substrate (the paper
+// deploys Prometheus): fixed-window latency collectors with percentile
+// queries, request counters, and gauge series for CPU utilisation. All
+// values are indexed by simulated time.
+package metrics
+
+import (
+	"sort"
+
+	"ursa/internal/sim"
+	"ursa/internal/stats"
+)
+
+// DefaultWindow is the sampling window used throughout the paper's
+// evaluation (metrics are collected once per minute).
+const DefaultWindow = sim.Minute
+
+// Windowed aggregates float64 samples into fixed, contiguous time windows.
+type Windowed struct {
+	window  sim.Time
+	start   []sim.Time  // window start times, ascending
+	samples [][]float64 // samples per window
+}
+
+// NewWindowed returns a collector with the given window size.
+func NewWindowed(window sim.Time) *Windowed {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Windowed{window: window}
+}
+
+// Window reports the configured window size.
+func (w *Windowed) Window() sim.Time { return w.window }
+
+// Add records one sample at time t. Samples must arrive in non-decreasing
+// window order (discrete-event time is monotone, so this holds naturally).
+func (w *Windowed) Add(t sim.Time, v float64) {
+	ws := t / w.window * w.window
+	n := len(w.start)
+	if n == 0 || w.start[n-1] < ws {
+		w.start = append(w.start, ws)
+		w.samples = append(w.samples, nil)
+		n++
+	}
+	w.samples[n-1] = append(w.samples[n-1], v)
+}
+
+// NumWindows reports how many (non-empty) windows exist.
+func (w *Windowed) NumWindows() int { return len(w.start) }
+
+// WindowAt returns the samples of the i-th non-empty window and its start.
+func (w *Windowed) WindowAt(i int) (sim.Time, []float64) {
+	return w.start[i], w.samples[i]
+}
+
+// Between returns all samples in windows with start in [from, to).
+func (w *Windowed) Between(from, to sim.Time) []float64 {
+	var out []float64
+	for i, s := range w.start {
+		if s >= from && s < to {
+			out = append(out, w.samples[i]...)
+		}
+	}
+	return out
+}
+
+// All returns every recorded sample.
+func (w *Windowed) All() []float64 {
+	return w.Between(0, sim.Time(int64(^uint64(0)>>2)))
+}
+
+// Count reports the number of samples in [from, to).
+func (w *Windowed) Count(from, to sim.Time) int {
+	n := 0
+	for i, s := range w.start {
+		if s >= from && s < to {
+			n += len(w.samples[i])
+		}
+	}
+	return n
+}
+
+// PercentileBetween computes the p-th percentile over [from, to).
+func (w *Windowed) PercentileBetween(from, to sim.Time, p float64) float64 {
+	return stats.Percentile(w.Between(from, to), p)
+}
+
+// PerWindowPercentile returns, for each aligned window of the run
+// [0, horizon), the p-th percentile (0 when the window has no samples).
+// This is the Fig. 2 heat-map primitive: one value per minute per tier.
+func (w *Windowed) PerWindowPercentile(horizon sim.Time, p float64) []float64 {
+	n := int((horizon + w.window - 1) / w.window)
+	out := make([]float64, n)
+	for i, s := range w.start {
+		idx := int(s / w.window)
+		if idx >= 0 && idx < n {
+			out[idx] = stats.Percentile(w.samples[i], p)
+		}
+	}
+	return out
+}
+
+// Trim drops windows that start before cutoff, bounding memory on long runs.
+func (w *Windowed) Trim(cutoff sim.Time) {
+	i := sort.Search(len(w.start), func(i int) bool { return w.start[i] >= cutoff })
+	if i > 0 {
+		w.start = append([]sim.Time(nil), w.start[i:]...)
+		w.samples = append([][]float64(nil), w.samples[i:]...)
+	}
+}
+
+// Reset discards all samples.
+func (w *Windowed) Reset() {
+	w.start = w.start[:0]
+	w.samples = w.samples[:0]
+}
+
+// LatencyRecorder keeps one Windowed collector per request class.
+type LatencyRecorder struct {
+	window  sim.Time
+	byClass map[string]*Windowed
+}
+
+// NewLatencyRecorder returns an empty recorder with the given window.
+func NewLatencyRecorder(window sim.Time) *LatencyRecorder {
+	return &LatencyRecorder{window: window, byClass: map[string]*Windowed{}}
+}
+
+// Record stores a latency sample (milliseconds) for a request class.
+func (r *LatencyRecorder) Record(t sim.Time, class string, latencyMs float64) {
+	w, ok := r.byClass[class]
+	if !ok {
+		w = NewWindowed(r.window)
+		r.byClass[class] = w
+	}
+	w.Add(t, latencyMs)
+}
+
+// Class returns the collector for the class, or nil when never recorded.
+func (r *LatencyRecorder) Class(class string) *Windowed { return r.byClass[class] }
+
+// Classes lists recorded classes in sorted order.
+func (r *LatencyRecorder) Classes() []string {
+	out := make([]string, 0, len(r.byClass))
+	for c := range r.byClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards all samples for all classes.
+func (r *LatencyRecorder) Reset() {
+	for _, w := range r.byClass {
+		w.Reset()
+	}
+}
+
+// CounterSeries counts events per fixed window (request counts → RPS).
+type CounterSeries struct {
+	window sim.Time
+	start  []sim.Time
+	counts []float64
+}
+
+// NewCounterSeries returns a counter with the given window.
+func NewCounterSeries(window sim.Time) *CounterSeries {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &CounterSeries{window: window}
+}
+
+// Inc adds n events at time t.
+func (c *CounterSeries) Inc(t sim.Time, n float64) {
+	ws := t / c.window * c.window
+	m := len(c.start)
+	if m == 0 || c.start[m-1] < ws {
+		c.start = append(c.start, ws)
+		c.counts = append(c.counts, 0)
+		m++
+	}
+	c.counts[m-1] += n
+}
+
+// Total reports the number of events in [from, to).
+func (c *CounterSeries) Total(from, to sim.Time) float64 {
+	s := 0.0
+	for i, w := range c.start {
+		if w >= from && w < to {
+			s += c.counts[i]
+		}
+	}
+	return s
+}
+
+// Rate reports events per second over [from, to).
+func (c *CounterSeries) Rate(from, to sim.Time) float64 {
+	d := (to - from).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return c.Total(from, to) / d
+}
+
+// Reset discards all counts.
+func (c *CounterSeries) Reset() {
+	c.start = c.start[:0]
+	c.counts = c.counts[:0]
+}
+
+// Gauge integrates a piecewise-constant value over time, yielding exact
+// time-averages — used for CPU utilisation and allocation accounting.
+type Gauge struct {
+	last     sim.Time
+	value    float64
+	integral float64 // ∫ value dt, in value·seconds
+}
+
+// NewGauge returns a gauge with initial value v at time t.
+func NewGauge(t sim.Time, v float64) *Gauge {
+	return &Gauge{last: t, value: v}
+}
+
+// Set updates the gauge to value v at time t, accumulating the integral of
+// the previous value over [last, t).
+func (g *Gauge) Set(t sim.Time, v float64) {
+	if t < g.last {
+		panic("metrics: Gauge.Set with time going backwards")
+	}
+	g.integral += g.value * (t - g.last).Seconds()
+	g.last = t
+	g.value = v
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.value }
+
+// IntegralUntil reports ∫value dt (value·seconds) from creation through t.
+func (g *Gauge) IntegralUntil(t sim.Time) float64 {
+	if t < g.last {
+		panic("metrics: IntegralUntil before last update")
+	}
+	return g.integral + g.value*(t-g.last).Seconds()
+}
+
+// AverageOver reports the time-average of the gauge over [from, t] given
+// the integral at the `from` instant (callers snapshot IntegralUntil(from)).
+func (g *Gauge) AverageOver(fromIntegral float64, from, to sim.Time) float64 {
+	d := (to - from).Seconds()
+	if d <= 0 {
+		return g.value
+	}
+	return (g.IntegralUntil(to) - fromIntegral) / d
+}

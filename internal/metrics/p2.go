@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile is the Jain/Chlamtac P² algorithm: a streaming estimate of a
+// single quantile in O(1) memory (five markers), without storing samples.
+// Production monitoring agents use sketches like this where the windowed
+// collectors in this package would grow unbounded; tests validate it against
+// exact percentiles.
+type P2Quantile struct {
+	p       float64 // quantile in (0,1)
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	desired [5]float64
+	incr    [5]float64
+	initial []float64
+}
+
+// NewP2Quantile builds an estimator for the q-th percentile (0 < q < 100).
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 100 {
+		panic(fmt.Sprintf("metrics: P2 quantile %v out of (0,100)", q))
+	}
+	p := q / 100
+	e := &P2Quantile{p: p}
+	e.desired = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(x float64) {
+	e.n++
+	if e.n <= 5 {
+		e.initial = append(e.initial, x)
+		if e.n == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.heights[i] = e.initial[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.initial = nil
+		}
+		return
+	}
+
+	// Find the cell k such that heights[k] ≤ x < heights[k+1].
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.desired[i] += e.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.heights[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.heights[i+1]-e.heights[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.heights[i]-e.heights[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return e.heights[i] + d*(e.heights[i+di]-e.heights[i])/(e.pos[i+di]-e.pos[i])
+}
+
+// Count reports observations fed so far.
+func (e *P2Quantile) Count() int { return e.n }
+
+// Value reports the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample percentile.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		sorted := append([]float64(nil), e.initial...)
+		sort.Float64s(sorted)
+		rank := e.p * float64(len(sorted)-1)
+		lo := int(rank)
+		if lo+1 >= len(sorted) {
+			return sorted[len(sorted)-1]
+		}
+		frac := rank - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	return e.heights[2]
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/stats"
+)
+
+func TestP2SmallSamplesExact(t *testing.T) {
+	e := NewP2Quantile(50)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		e.Add(v)
+	}
+	if got := e.Value(); got != 2 {
+		t.Fatalf("small-sample median = %v", got)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestP2MedianUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewP2Quantile(50)
+	for i := 0; i < 100000; i++ {
+		e.Add(rng.Float64())
+	}
+	if got := e.Value(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("uniform median = %v, want ≈0.5", got)
+	}
+}
+
+func TestP2TailQuantileLogNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ln := stats.LogNormalFromMeanCV(100, 0.8)
+	e := NewP2Quantile(99)
+	var all []float64
+	for i := 0; i < 200000; i++ {
+		v := ln.Sample(rng)
+		e.Add(v)
+		all = append(all, v)
+	}
+	exact := stats.Percentile(all, 99)
+	if math.Abs(e.Value()-exact)/exact > 0.06 {
+		t.Fatalf("p99 estimate %v vs exact %v", e.Value(), exact)
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for q=0")
+		}
+	}()
+	NewP2Quantile(0)
+}
+
+// Property: the estimate always lies within [min, max] of the data, and for
+// well-behaved streams it approximates the exact percentile.
+func TestP2BoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 5 + rng.Float64()*90
+		e := NewP2Quantile(q)
+		min, max := math.Inf(1), math.Inf(-1)
+		n := 200 + rng.Intn(2000)
+		var all []float64
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()*10 + 50
+			e.Add(v)
+			all = append(all, v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		got := e.Value()
+		if got < min-1e-9 || got > max+1e-9 {
+			return false
+		}
+		// Loose accuracy: within 15% of the exact value's IQR-scale.
+		exact := stats.Percentile(all, q)
+		scale := stats.Percentile(all, 90) - stats.Percentile(all, 10)
+		return math.Abs(got-exact) <= 0.15*scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewP2Quantile(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Add(rng.Float64())
+	}
+}

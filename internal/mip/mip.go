@@ -1,0 +1,145 @@
+// Package mip solves mixed 0/1 integer programs
+//
+//	minimize    c·x
+//	subject to  A x ≤ b,  x ≥ 0,  x_j ∈ {0,1} for j ∈ Integer
+//
+// by LP-relaxation branch-and-bound (the "branch-and-bound algorithm"
+// reference [39] of the paper). Ursa's optimization engine uses the
+// specialised one-hot solver in internal/core for speed; this generic solver
+// provides the exact formulation of MIP (1) and is cross-checked against the
+// specialised solver in tests.
+package mip
+
+import (
+	"math"
+
+	"ursa/internal/lp"
+)
+
+// Problem is a 0/1 mixed integer program.
+type Problem struct {
+	C       []float64
+	A       [][]float64
+	B       []float64
+	Integer []bool // len == len(C); true marks binary variables
+}
+
+// Result reports the solve outcome.
+type Result struct {
+	Status lp.Status
+	X      []float64
+	Obj    float64
+	Nodes  int // branch-and-bound nodes explored
+}
+
+// Solve runs depth-first branch and bound with best-first variable choice
+// (most fractional binary variable).
+func Solve(p Problem) Result {
+	if len(p.Integer) != len(p.C) {
+		panic("mip: len(Integer) != len(C)")
+	}
+	n := len(p.C)
+
+	// Base relaxation: original constraints plus x_j ≤ 1 for binaries.
+	baseA := make([][]float64, 0, len(p.A)+n)
+	baseB := make([]float64, 0, len(p.B)+n)
+	for i := range p.A {
+		baseA = append(baseA, p.A[i])
+		baseB = append(baseB, p.B[i])
+	}
+	for j := 0; j < n; j++ {
+		if p.Integer[j] {
+			row := make([]float64, n)
+			row[j] = 1
+			baseA = append(baseA, row)
+			baseB = append(baseB, 1)
+		}
+	}
+
+	best := Result{Status: lp.Infeasible, Obj: math.Inf(1)}
+	nodes := 0
+
+	// fixed[j]: -1 free, 0 or 1 fixed.
+	var rec func(fixed []int)
+	rec = func(fixed []int) {
+		nodes++
+		if nodes > 2_000_000 {
+			panic("mip: node budget exceeded")
+		}
+		a := baseA
+		b := baseB
+		for j, v := range fixed {
+			switch v {
+			case 0:
+				row := make([]float64, n)
+				row[j] = 1
+				a = append(a[:len(a):len(a)], row)
+				b = append(b[:len(b):len(b)], 0)
+			case 1:
+				row := make([]float64, n)
+				row[j] = -1
+				a = append(a[:len(a):len(a)], row)
+				b = append(b[:len(b):len(b)], -1)
+			}
+		}
+		r := lp.Solve(lp.LP{C: p.C, A: a, B: b})
+		if r.Status == lp.Infeasible {
+			return
+		}
+		if r.Status == lp.Unbounded {
+			// With binaries fixed/bounded this means the continuous part is
+			// unbounded; propagate as the final answer.
+			best = Result{Status: lp.Unbounded}
+			return
+		}
+		if r.Obj >= best.Obj-1e-9 {
+			return // bound: cannot beat incumbent
+		}
+		// Find the most fractional binary variable.
+		branch := -1
+		bestFrac := 1e-6
+		for j := 0; j < n; j++ {
+			if !p.Integer[j] || fixed[j] != -1 {
+				continue
+			}
+			f := math.Abs(r.X[j] - math.Round(r.X[j]))
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch == -1 {
+			// Integral (within tolerance): new incumbent.
+			x := make([]float64, n)
+			copy(x, r.X)
+			for j := 0; j < n; j++ {
+				if p.Integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			best = Result{Status: lp.Optimal, X: x, Obj: r.Obj}
+			return
+		}
+		// Explore the rounded side first (often finds incumbents quickly).
+		first, second := 1, 0
+		if r.X[branch] < 0.5 {
+			first, second = 0, 1
+		}
+		for _, v := range []int{first, second} {
+			if best.Status == lp.Unbounded {
+				return
+			}
+			fixed[branch] = v
+			rec(fixed)
+			fixed[branch] = -1
+		}
+	}
+
+	fixed := make([]int, n)
+	for j := range fixed {
+		fixed[j] = -1
+	}
+	rec(fixed)
+	best.Nodes = nodes
+	return best
+}

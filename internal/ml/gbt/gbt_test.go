@@ -1,0 +1,116 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegressorLearnsStepFunction(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		X = append(X, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+	}
+	r := TrainRegressor(X, y, Config{Trees: 30, Depth: 2})
+	if got := r.Predict([]float64{0.2}); math.Abs(got-1) > 0.3 {
+		t.Fatalf("low side = %v", got)
+	}
+	if got := r.Predict([]float64{0.8}); math.Abs(got-5) > 0.3 {
+		t.Fatalf("high side = %v", got)
+	}
+	if r.NumTrees() != 30 {
+		t.Fatalf("trees = %d", r.NumTrees())
+	}
+}
+
+func TestRegressorLearnsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		X = append(X, []float64{a, b})
+		y = append(y, a*a+b)
+	}
+	r := TrainRegressor(X, y, Config{Trees: 120, Depth: 4, LearningRate: 0.15})
+	sse := 0.0
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		d := r.Predict([]float64{a, b}) - (a*a + b)
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / 100); rmse > 0.25 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+}
+
+func TestClassifierSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		if a+b > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	c := TrainClassifier(X, y, Config{Trees: 60, Depth: 3})
+	correct := 0
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		p := c.PredictProb([]float64{a, b})
+		want := 0.0
+		if a+b > 1 {
+			want = 1
+		}
+		if (p > 0.5) == (want == 1) {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("accuracy = %d/200", correct)
+	}
+}
+
+func TestClassifierProbabilitiesInRange(t *testing.T) {
+	X := [][]float64{{0}, {1}, {0}, {1}}
+	y := []float64{0, 1, 0, 1}
+	c := TrainClassifier(X, y, Config{Trees: 10, Depth: 1, MinLeaf: 1})
+	for _, x := range X {
+		p := c.PredictProb(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob out of range: %v", p)
+		}
+	}
+	if c.PredictProb([]float64{1}) <= c.PredictProb([]float64{0}) {
+		t.Fatal("classifier did not order classes")
+	}
+}
+
+func TestConstantTargetGivesConstantPrediction(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	r := TrainRegressor(X, y, Config{Trees: 5, Depth: 2, MinLeaf: 1})
+	if got := r.Predict([]float64{2.5}); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("constant prediction = %v", got)
+	}
+}
+
+func TestBadInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty data")
+		}
+	}()
+	TrainRegressor(nil, nil, Config{})
+}

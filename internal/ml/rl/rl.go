@@ -1,0 +1,221 @@
+// Package rl provides the reinforcement-learning building blocks for the
+// Firm baseline: a replay buffer and a deterministic actor-critic agent
+// (DDPG-style, with target networks and exploration noise) built on the nn
+// package. Firm assigns one such agent per microservice (§VII-B).
+package rl
+
+import (
+	"math/rand"
+
+	"ursa/internal/ml/nn"
+	"ursa/internal/ml/tensor"
+)
+
+// Transition is one (s, a, r, s') experience.
+type Transition struct {
+	State     []float64
+	Action    float64
+	Reward    float64
+	NextState []float64
+}
+
+// Replay is a fixed-capacity ring replay buffer.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay allocates a buffer of the given capacity.
+func NewReplay(capacity int) *Replay {
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Add stores a transition, overwriting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions with replacement.
+func (r *Replay) Sample(n int, rng *rand.Rand) []Transition {
+	m := r.Len()
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(m)]
+	}
+	return out
+}
+
+// Agent is a DDPG-lite actor-critic: the actor maps state → action in
+// [-1, 1]; the critic maps (state, action) → value.
+type Agent struct {
+	StateDim int
+	actor    *nn.Network
+	critic   *nn.Network
+	actorTgt *nn.Network
+	criticT  *nn.Network
+	optA     *nn.Adam
+	optC     *nn.Adam
+	rng      *rand.Rand
+
+	Gamma float64 // discount
+	Tau   float64 // target soft-update rate
+	Noise float64 // exploration noise std (decays)
+
+	// UpdateCount tracks training iterations (control-plane accounting).
+	UpdateCount int
+}
+
+// NewAgent builds an agent with small two-hidden-layer networks.
+func NewAgent(stateDim, hidden int, rng *rand.Rand) *Agent {
+	mkActor := func() *nn.Network {
+		return &nn.Network{Layers: []nn.Layer{
+			nn.NewDense(stateDim, hidden, rng), &nn.ReLU{},
+			nn.NewDense(hidden, hidden, rng), &nn.ReLU{},
+			nn.NewDense(hidden, 1, rng), &nn.Tanh{},
+		}}
+	}
+	mkCritic := func() *nn.Network {
+		return &nn.Network{Layers: []nn.Layer{
+			nn.NewDense(stateDim+1, hidden, rng), &nn.ReLU{},
+			nn.NewDense(hidden, hidden, rng), &nn.ReLU{},
+			nn.NewDense(hidden, 1, rng),
+		}}
+	}
+	a := &Agent{
+		StateDim: stateDim,
+		actor:    mkActor(), critic: mkCritic(),
+		actorTgt: mkActor(), criticT: mkCritic(),
+		optA: nn.NewAdam(1e-3), optC: nn.NewAdam(1e-3),
+		rng:   rng,
+		Gamma: 0.9, Tau: 0.01, Noise: 0.3,
+	}
+	copyParams(a.actorTgt, a.actor)
+	copyParams(a.criticT, a.critic)
+	return a
+}
+
+func copyParams(dst, src *nn.Network) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		copy(dp[i].W.Data, sp[i].W.Data)
+	}
+}
+
+func softUpdate(dst, src *nn.Network, tau float64) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		for j := range dp[i].W.Data {
+			dp[i].W.Data[j] = (1-tau)*dp[i].W.Data[j] + tau*sp[i].W.Data[j]
+		}
+	}
+}
+
+// Act returns the policy action for a state; explore adds Gaussian noise.
+func (a *Agent) Act(state []float64, explore bool) float64 {
+	x := tensor.FromSlice(1, a.StateDim, append([]float64(nil), state...))
+	out := a.actor.Forward(x).Data[0]
+	if explore {
+		out += a.rng.NormFloat64() * a.Noise
+	}
+	if out > 1 {
+		out = 1
+	}
+	if out < -1 {
+		out = -1
+	}
+	return out
+}
+
+// Train runs one mini-batch update from the replay buffer.
+func (a *Agent) Train(replay *Replay, batch int) {
+	if replay.Len() < batch {
+		return
+	}
+	a.UpdateCount++
+	ts := replay.Sample(batch, a.rng)
+
+	// Critic target: r + γ·Q'(s', π'(s')).
+	states := tensor.New(batch, a.StateDim)
+	nexts := tensor.New(batch, a.StateDim)
+	for i, t := range ts {
+		copy(states.Data[i*a.StateDim:], t.State)
+		copy(nexts.Data[i*a.StateDim:], t.NextState)
+	}
+	nextActs := a.actorTgt.Forward(nexts)
+	saNext := tensor.New(batch, a.StateDim+1)
+	for i := range ts {
+		copy(saNext.Data[i*(a.StateDim+1):], nexts.Data[i*a.StateDim:(i+1)*a.StateDim])
+		saNext.Data[i*(a.StateDim+1)+a.StateDim] = nextActs.Data[i]
+	}
+	qNext := a.criticT.Forward(saNext)
+	target := tensor.New(batch, 1)
+	for i, t := range ts {
+		target.Data[i] = t.Reward + a.Gamma*qNext.Data[i]
+	}
+
+	// Critic update.
+	sa := tensor.New(batch, a.StateDim+1)
+	for i, t := range ts {
+		copy(sa.Data[i*(a.StateDim+1):], t.State)
+		sa.Data[i*(a.StateDim+1)+a.StateDim] = t.Action
+	}
+	a.critic.ZeroGrad()
+	q := a.critic.Forward(sa)
+	_, grad := nn.MSELoss(q, target)
+	a.critic.Backward(grad)
+	a.optC.Step(a.critic.Params())
+
+	// Actor update: maximize Q(s, π(s)) → gradient ascent through the
+	// critic's action input.
+	a.actor.ZeroGrad()
+	acts := a.actor.Forward(states)
+	saPi := tensor.New(batch, a.StateDim+1)
+	for i := range ts {
+		copy(saPi.Data[i*(a.StateDim+1):], ts[i].State)
+		saPi.Data[i*(a.StateDim+1)+a.StateDim] = acts.Data[i]
+	}
+	a.critic.ZeroGrad()
+	a.critic.Forward(saPi)
+	ones := tensor.New(batch, 1)
+	for i := range ones.Data {
+		ones.Data[i] = -1.0 / float64(batch) // ascent on Q
+	}
+	gSA := a.criticGradInput(saPi, ones)
+	gAct := tensor.New(batch, 1)
+	for i := 0; i < batch; i++ {
+		gAct.Data[i] = gSA.Data[i*(a.StateDim+1)+a.StateDim]
+	}
+	a.actor.Backward(gAct)
+	a.optA.Step(a.actor.Params())
+	a.critic.ZeroGrad()
+
+	softUpdate(a.actorTgt, a.actor, a.Tau)
+	softUpdate(a.criticT, a.critic, a.Tau)
+	if a.Noise > 0.05 {
+		a.Noise *= 0.999
+	}
+}
+
+// criticGradInput backpropagates through the critic to its inputs (the
+// critic has just run Forward on the same batch).
+func (a *Agent) criticGradInput(_, gradOut *tensor.Matrix) *tensor.Matrix {
+	g := gradOut
+	for i := len(a.critic.Layers) - 1; i >= 0; i-- {
+		g = a.critic.Layers[i].Backward(g)
+	}
+	return g
+}

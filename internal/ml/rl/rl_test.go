@@ -1,0 +1,84 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReplayRing(t *testing.T) {
+	r := NewReplay(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{Reward: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, tr := range r.Sample(10, rng) {
+		if tr.Reward < 2 { // 0 and 1 were overwritten
+			t.Fatalf("sampled evicted transition %v", tr.Reward)
+		}
+	}
+}
+
+func TestActBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewAgent(3, 8, rng)
+	for i := 0; i < 50; i++ {
+		s := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		act := a.Act(s, true)
+		if act < -1 || act > 1 {
+			t.Fatalf("action out of range: %v", act)
+		}
+	}
+}
+
+// TestAgentLearnsBandit trains the agent on a 1-step problem where reward =
+// -(action - 0.6)²: the policy should move toward 0.6.
+func TestAgentLearnsBandit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewAgent(1, 16, rng)
+	a.Gamma = 0 // contextual bandit
+	replay := NewReplay(2048)
+	state := []float64{1}
+	for i := 0; i < 1500; i++ {
+		act := a.Act(state, true)
+		r := -(act - 0.6) * (act - 0.6)
+		replay.Add(Transition{State: state, Action: act, Reward: r, NextState: state})
+		a.Train(replay, 32)
+	}
+	final := a.Act(state, false)
+	if final < 0.3 || final > 0.9 {
+		t.Fatalf("policy did not converge toward 0.6: %v", final)
+	}
+	if a.UpdateCount == 0 {
+		t.Fatal("no updates counted")
+	}
+}
+
+func TestNoiseDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAgent(1, 4, rng)
+	replay := NewReplay(64)
+	for i := 0; i < 64; i++ {
+		replay.Add(Transition{State: []float64{0}, Action: 0, Reward: 0, NextState: []float64{0}})
+	}
+	before := a.Noise
+	for i := 0; i < 100; i++ {
+		a.Train(replay, 8)
+	}
+	if a.Noise >= before {
+		t.Fatal("exploration noise did not decay")
+	}
+}
+
+func TestTrainNoopWhenBufferSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAgent(1, 4, rng)
+	replay := NewReplay(64)
+	replay.Add(Transition{State: []float64{0}, Action: 0, Reward: 0, NextState: []float64{0}})
+	a.Train(replay, 32)
+	if a.UpdateCount != 0 {
+		t.Fatal("trained on an under-filled buffer")
+	}
+}

@@ -1,0 +1,188 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+
+	"ursa/internal/cluster"
+	"ursa/internal/metrics"
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// App is a deployed application: every service instantiated on one engine,
+// end-to-end latency accounting, and a per-window metrics sampler. It is the
+// object resource managers (Ursa and the baselines) operate on.
+type App struct {
+	Eng  *sim.Engine
+	Spec AppSpec
+
+	services map[string]*Service
+	window   sim.Time
+
+	// Cluster, when non-nil, gates replica placement on real node
+	// capacity. UnschedulableEvents counts placements that failed.
+	Cluster             *cluster.Cluster
+	UnschedulableEvents int
+
+	// Tracer, when non-nil, samples jobs and records per-service spans.
+	Tracer *trace.Tracer
+
+	// E2E records end-to-end job latency (ms) per request class.
+	E2E *metrics.LatencyRecorder
+	// InjectedJobs / completedJobs count job starts and completions.
+	InjectedJobs  int
+	completedJobs int
+
+	sampler *sim.Ticker
+}
+
+// NewApp validates the spec and deploys the application with its initial
+// replica counts. Metrics are sampled once per metrics window (1 simulated
+// minute, matching the paper's sampling frequency).
+func NewApp(eng *sim.Engine, spec AppSpec) (*App, error) {
+	return NewAppWindow(eng, spec, metrics.DefaultWindow)
+}
+
+// NewAppOnCluster deploys an application whose replicas are placed on (and
+// bounded by) a physical cluster.
+func NewAppOnCluster(eng *sim.Engine, spec AppSpec, cl *cluster.Cluster) (*App, error) {
+	return newApp(eng, spec, metrics.DefaultWindow, cl)
+}
+
+// NewAppWindow is NewApp with a custom metrics window. Exploration and
+// profiling harnesses use finer windows so their sampling cadence and the
+// metric buckets stay aligned.
+func NewAppWindow(eng *sim.Engine, spec AppSpec, window sim.Time) (*App, error) {
+	return newApp(eng, spec, window, nil)
+}
+
+func newApp(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster) (*App, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = metrics.DefaultWindow
+	}
+	a := &App{
+		Eng:      eng,
+		Spec:     spec,
+		services: map[string]*Service{},
+		window:   window,
+		Cluster:  cl,
+		E2E:      metrics.NewLatencyRecorder(window),
+	}
+	for _, ss := range spec.Services {
+		a.services[ss.Name] = newService(a, ss)
+	}
+	a.sampler = eng.Every(a.window, a.sampleMetrics)
+	return a, nil
+}
+
+// MustNewApp is NewApp, panicking on spec errors; for tests and fixed specs.
+func MustNewApp(eng *sim.Engine, spec AppSpec) *App {
+	a, err := NewApp(eng, spec)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Window reports the metrics window size.
+func (a *App) Window() sim.Time { return a.window }
+
+// Service returns a service by name, or nil.
+func (a *App) Service(name string) *Service { return a.services[name] }
+
+func (a *App) mustService(name string) *Service {
+	s := a.services[name]
+	if s == nil {
+		panic(fmt.Sprintf("services: unknown service %q", name))
+	}
+	return s
+}
+
+// ServiceNames lists services in sorted order.
+func (a *App) ServiceNames() []string {
+	out := make([]string, 0, len(a.services))
+	for n := range a.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CompletedJobs reports how many jobs have fully finished.
+func (a *App) CompletedJobs() int { return a.completedJobs }
+
+// Inject starts one job of the given (non-derived) request class at its
+// entry service and returns the job.
+func (a *App) Inject(class string) *Job {
+	cs := a.Spec.Class(class)
+	if cs == nil {
+		panic(fmt.Sprintf("services: unknown class %q", class))
+	}
+	if cs.Entry == "" {
+		panic(fmt.Sprintf("services: class %q has no entry service", class))
+	}
+	return a.injectAt(a.mustService(cs.Entry), class)
+}
+
+// injectAt starts a new measured job of class at svc (used by Inject and by
+// Spawn steps).
+func (a *App) injectAt(svc *Service, class string) *Job {
+	cs := a.Spec.Class(class)
+	if cs == nil {
+		panic(fmt.Sprintf("services: unknown class %q", class))
+	}
+	j := &Job{
+		Class:    class,
+		Priority: cs.Priority,
+		Start:    a.Eng.Now(),
+		app:      a,
+	}
+	if a.Tracer != nil {
+		j.traceID = a.Tracer.StartJob(class, a.Eng.Now())
+	}
+	a.InjectedJobs++
+	j.add()
+	svc.Enqueue(&Request{
+		Job:      j,
+		Class:    class,
+		Priority: j.Priority,
+		onDone:   j.branchDone,
+	})
+	return j
+}
+
+// sampleMetrics stores one utilisation sample per service per window.
+func (a *App) sampleMetrics() {
+	now := a.Eng.Now()
+	for _, s := range a.services {
+		s.UtilSamples.Add(now-1, s.sampleUtilization())
+	}
+}
+
+// StopSampling halts the periodic sampler (end of experiment).
+func (a *App) StopSampling() { a.sampler.Stop() }
+
+// TotalAllocatedCPUs sums currently allocated CPUs over all services.
+func (a *App) TotalAllocatedCPUs() float64 {
+	t := 0.0
+	for _, s := range a.services {
+		t += s.AllocatedCPUs()
+	}
+	return t
+}
+
+// AllocIntegralCPUSeconds reports ∫ allocated CPUs dt through now, summed
+// over services — divide a delta by elapsed seconds for the Fig. 12 average
+// allocation metric.
+func (a *App) AllocIntegralCPUSeconds() float64 {
+	now := a.Eng.Now()
+	t := 0.0
+	for _, s := range a.services {
+		t += s.AllocGauge.IntegralUntil(now)
+	}
+	return t
+}

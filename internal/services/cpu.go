@@ -1,0 +1,163 @@
+package services
+
+import (
+	"math"
+
+	"ursa/internal/metrics"
+	"ursa/internal/sim"
+)
+
+// burst is one CPU burst executing on a processor-sharing scheduler.
+type burst struct {
+	remaining float64 // core-seconds of work left
+	done      func()
+}
+
+// cpuSched is an egalitarian processor-sharing CPU with a configurable core
+// count (the container CPU limit). Each active burst progresses at rate
+// min(1, cores/active) cores — a thread can use at most one core, and when
+// more threads are runnable than cores, everyone slows down proportionally.
+// This is how CFS-quota throttling and CPU interference manifest in the
+// simulation.
+type cpuSched struct {
+	eng    *sim.Engine
+	cores  float64
+	active []*burst
+	last   sim.Time
+	next   *sim.Event
+
+	// busy integrates min(active, cores): actual core-seconds consumed.
+	busy *metrics.Gauge
+	// capacity integrates the configured core count, so utilisation over a
+	// window is busyΔ/capacityΔ even across limit changes.
+	capacity *metrics.Gauge
+}
+
+func newCPUSched(eng *sim.Engine, cores float64) *cpuSched {
+	if cores <= 0 {
+		panic("services: CPU scheduler needs cores > 0")
+	}
+	return &cpuSched{
+		eng:      eng,
+		cores:    cores,
+		last:     eng.Now(),
+		busy:     metrics.NewGauge(eng.Now(), 0),
+		capacity: metrics.NewGauge(eng.Now(), cores),
+	}
+}
+
+// rate is the per-burst execution rate in cores.
+func (c *cpuSched) rate() float64 {
+	n := float64(len(c.active))
+	if n == 0 {
+		return 0
+	}
+	if n <= c.cores {
+		return 1
+	}
+	return c.cores / n
+}
+
+// workEps is the smallest meaningful amount of CPU work: one nanosecond at
+// one core. Residues below it are rounding noise from the float/Time
+// conversions and count as complete — without this, a burst can be left with
+// ~1e-10 core-seconds and respawn zero-delay completion events forever.
+const workEps = 1e-9
+
+// advance applies elapsed progress to all active bursts.
+func (c *cpuSched) advance() {
+	now := c.eng.Now()
+	elapsed := (now - c.last).Seconds()
+	if elapsed > 0 {
+		r := c.rate()
+		for _, b := range c.active {
+			b.remaining -= elapsed * r
+			if b.remaining < workEps {
+				b.remaining = 0
+			}
+		}
+	}
+	c.last = now
+}
+
+// replan records the new busy level and schedules the next completion.
+func (c *cpuSched) replan() {
+	n := float64(len(c.active))
+	used := n
+	if used > c.cores {
+		used = c.cores
+	}
+	c.busy.Set(c.eng.Now(), used)
+	if c.next != nil {
+		c.next.Cancel()
+		c.next = nil
+	}
+	if len(c.active) == 0 {
+		return
+	}
+	min := c.active[0].remaining
+	for _, b := range c.active[1:] {
+		if b.remaining < min {
+			min = b.remaining
+		}
+	}
+	// Round the delay up to a whole nanosecond so the completion event
+	// never fires fractionally early (which would leave sub-eps residues).
+	delay := sim.Time(math.Ceil(min / c.rate() * 1e9))
+	c.next = c.eng.Schedule(delay, c.onCompletion)
+}
+
+// onCompletion fires when the earliest burst(s) finish.
+func (c *cpuSched) onCompletion() {
+	c.next = nil
+	c.advance()
+	var doneFns []func()
+	kept := c.active[:0]
+	for _, b := range c.active {
+		if b.remaining <= workEps {
+			doneFns = append(doneFns, b.done)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	c.active = kept
+	c.replan()
+	for _, fn := range doneFns {
+		fn()
+	}
+}
+
+// Run submits a CPU burst of `seconds` core-seconds; done fires when it has
+// received that much CPU time.
+func (c *cpuSched) Run(seconds float64, done func()) {
+	if seconds <= 0 {
+		// Zero-length work completes on the next event boundary to keep
+		// callback ordering sane.
+		c.eng.Schedule(0, done)
+		return
+	}
+	c.advance()
+	c.active = append(c.active, &burst{remaining: seconds, done: done})
+	c.replan()
+}
+
+// SetCores changes the CPU limit (throttling injection, vertical scaling).
+func (c *cpuSched) SetCores(cores float64) {
+	if cores <= 0 {
+		panic("services: SetCores needs cores > 0")
+	}
+	c.advance()
+	c.cores = cores
+	c.capacity.Set(c.eng.Now(), cores)
+	c.replan()
+}
+
+// Cores reports the current CPU limit.
+func (c *cpuSched) Cores() float64 { return c.cores }
+
+// snapshot returns the busy and capacity integrals at the current time, for
+// windowed utilisation computation.
+func (c *cpuSched) snapshot() (busy, capacity float64) {
+	now := c.eng.Now()
+	return c.busy.IntegralUntil(now), c.capacity.IntegralUntil(now)
+}

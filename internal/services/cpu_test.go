@@ -1,0 +1,129 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+func TestCPUSchedSingleBurst(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	var doneAt sim.Time
+	c.Run(0.5, func() { doneAt = eng.Now() })
+	eng.Drain(100)
+	if doneAt != 500*sim.Millisecond {
+		t.Fatalf("single burst finished at %v, want 500ms", doneAt)
+	}
+}
+
+func TestCPUSchedProcessorSharing(t *testing.T) {
+	// Two 1-core-second bursts on 1 core, started together: both finish at 2s.
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	var done []sim.Time
+	c.Run(1, func() { done = append(done, eng.Now()) })
+	c.Run(1, func() { done = append(done, eng.Now()) })
+	eng.Drain(100)
+	if len(done) != 2 || done[0] != 2*sim.Second || done[1] != 2*sim.Second {
+		t.Fatalf("PS completions = %v, want both at 2s", done)
+	}
+}
+
+func TestCPUSchedTwoCoresNoSlowdown(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 2)
+	var done []sim.Time
+	c.Run(1, func() { done = append(done, eng.Now()) })
+	c.Run(1, func() { done = append(done, eng.Now()) })
+	eng.Drain(100)
+	if len(done) != 2 || done[0] != sim.Second || done[1] != sim.Second {
+		t.Fatalf("completions = %v, want both at 1s", done)
+	}
+}
+
+func TestCPUSchedStaggeredArrival(t *testing.T) {
+	// Burst A (1 cs) starts at 0 on 1 core; burst B (1 cs) arrives at 0.5s.
+	// A has 0.5 left at t=0.5; both then run at rate 1/2: A finishes at
+	// 0.5+1.0=1.5s, B has 0.5 left at 1.5s, runs alone → finishes at 2.0s.
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	var aDone, bDone sim.Time
+	c.Run(1, func() { aDone = eng.Now() })
+	eng.Schedule(500*sim.Millisecond, func() {
+		c.Run(1, func() { bDone = eng.Now() })
+	})
+	eng.Drain(100)
+	if aDone != 1500*sim.Millisecond {
+		t.Fatalf("A done at %v, want 1.5s", aDone)
+	}
+	if bDone != 2*sim.Second {
+		t.Fatalf("B done at %v, want 2s", bDone)
+	}
+}
+
+func TestCPUSchedThrottleMidBurst(t *testing.T) {
+	// 1 cs of work; at t=0.5s the limit drops to 0.25 cores → the remaining
+	// 0.5 cs takes 2s → completion at 2.5s. (CPU-limit throttling is how
+	// Fig. 2 injects the anomaly.)
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	var done sim.Time
+	c.Run(1, func() { done = eng.Now() })
+	eng.Schedule(500*sim.Millisecond, func() { c.SetCores(0.25) })
+	eng.Drain(100)
+	if done != 2500*sim.Millisecond {
+		t.Fatalf("throttled burst done at %v, want 2.5s", done)
+	}
+	if c.Cores() != 0.25 {
+		t.Fatalf("Cores = %v", c.Cores())
+	}
+}
+
+func TestCPUSchedUtilizationAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 2)
+	c.Run(1, func() {}) // 1 core busy for 1s on a 2-core replica
+	eng.RunUntil(2 * sim.Second)
+	busy, cap := c.snapshot()
+	if math.Abs(busy-1) > 1e-9 {
+		t.Fatalf("busy = %v, want 1", busy)
+	}
+	if math.Abs(cap-4) > 1e-9 { // 2 cores × 2s
+		t.Fatalf("capacity = %v, want 4", cap)
+	}
+}
+
+func TestCPUSchedZeroWork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	fired := false
+	c.Run(0, func() { fired = true })
+	eng.Drain(10)
+	if !fired {
+		t.Fatal("zero-work burst never completed")
+	}
+}
+
+func TestCPUSchedOverloadConservesWork(t *testing.T) {
+	// 10 bursts of 0.1 cs on 0.5 cores: total work 1 cs at 0.5 cores → all
+	// done by t=2s, and the busy integral must equal the submitted work.
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 0.5)
+	doneCount := 0
+	for i := 0; i < 10; i++ {
+		c.Run(0.1, func() { doneCount++ })
+	}
+	eng.Drain(1000)
+	if doneCount != 10 {
+		t.Fatalf("completed %d/10 bursts", doneCount)
+	}
+	if eng.Now() != 2*sim.Second {
+		t.Fatalf("all done at %v, want 2s", eng.Now())
+	}
+	busy, _ := c.snapshot()
+	if math.Abs(busy-1.0) > 1e-9 {
+		t.Fatalf("busy integral = %v, want 1.0 core-seconds", busy)
+	}
+}

@@ -1,0 +1,169 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Step serialisation: handlers are encoded as tagged step envelopes so that
+// application topologies can be stored as JSON and loaded by the CLI tools.
+
+// stepEnvelope is the wire form of a Step.
+type stepEnvelope struct {
+	Type string `json:"type"`
+	// Compute fields.
+	MeanMs float64 `json:"mean_ms,omitempty"`
+	CV     float64 `json:"cv,omitempty"`
+	// Call / Spawn fields.
+	Service string `json:"service,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Class   string `json:"class,omitempty"`
+	// Par field.
+	Branches [][]stepEnvelope `json:"branches,omitempty"`
+}
+
+func encodeSteps(steps []Step) ([]stepEnvelope, error) {
+	out := make([]stepEnvelope, 0, len(steps))
+	for _, st := range steps {
+		switch s := st.(type) {
+		case Compute:
+			out = append(out, stepEnvelope{Type: "compute", MeanMs: s.MeanMs, CV: s.CV})
+		case Call:
+			out = append(out, stepEnvelope{Type: "call", Service: s.Service, Mode: s.Mode.String(), Class: s.Class})
+		case Spawn:
+			out = append(out, stepEnvelope{Type: "spawn", Service: s.Service, Class: s.Class})
+		case Par:
+			env := stepEnvelope{Type: "par"}
+			for _, br := range s.Branches {
+				eb, err := encodeSteps(br)
+				if err != nil {
+					return nil, err
+				}
+				env.Branches = append(env.Branches, eb)
+			}
+			out = append(out, env)
+		default:
+			return nil, fmt.Errorf("services: cannot encode step %T", st)
+		}
+	}
+	return out, nil
+}
+
+func decodeSteps(envs []stepEnvelope) ([]Step, error) {
+	out := make([]Step, 0, len(envs))
+	for _, e := range envs {
+		switch e.Type {
+		case "compute":
+			out = append(out, Compute{MeanMs: e.MeanMs, CV: e.CV})
+		case "call":
+			mode, err := parseCallMode(e.Mode)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Call{Service: e.Service, Mode: mode, Class: e.Class})
+		case "spawn":
+			out = append(out, Spawn{Service: e.Service, Class: e.Class})
+		case "par":
+			p := Par{}
+			for _, br := range e.Branches {
+				db, err := decodeSteps(br)
+				if err != nil {
+					return nil, err
+				}
+				p.Branches = append(p.Branches, db)
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("services: unknown step type %q", e.Type)
+		}
+	}
+	return out, nil
+}
+
+func parseCallMode(s string) (CallMode, error) {
+	switch s {
+	case "nested-rpc", "":
+		return NestedRPC, nil
+	case "event-rpc":
+		return EventRPC, nil
+	case "mq":
+		return MQ, nil
+	default:
+		return 0, fmt.Errorf("services: unknown call mode %q", s)
+	}
+}
+
+// handlersWire is the serialised Handlers map.
+type handlersWire map[string][]stepEnvelope
+
+// serviceSpecWire mirrors ServiceSpec with encodable handlers.
+type serviceSpecWire struct {
+	Name            string       `json:"name"`
+	Threads         int          `json:"threads,omitempty"`
+	Daemons         int          `json:"daemons,omitempty"`
+	CPUs            float64      `json:"cpus,omitempty"`
+	InitialReplicas int          `json:"initial_replicas,omitempty"`
+	MaxReplicas     int          `json:"max_replicas,omitempty"`
+	StartupDelaySec float64      `json:"startup_delay_sec,omitempty"`
+	IngressCostMs   float64      `json:"ingress_cost_ms,omitempty"`
+	IngressWindow   int          `json:"ingress_window,omitempty"`
+	Handlers        handlersWire `json:"handlers"`
+}
+
+type appSpecWire struct {
+	Name     string            `json:"name"`
+	Services []serviceSpecWire `json:"services"`
+	Classes  []ClassSpec       `json:"classes"`
+}
+
+// MarshalJSON implements json.Marshaler for AppSpec.
+func (a AppSpec) MarshalJSON() ([]byte, error) {
+	wire := appSpecWire{Name: a.Name, Classes: a.Classes}
+	for _, s := range a.Services {
+		hw := handlersWire{}
+		for class, steps := range s.Handlers {
+			enc, err := encodeSteps(steps)
+			if err != nil {
+				return nil, err
+			}
+			hw[class] = enc
+		}
+		wire.Services = append(wire.Services, serviceSpecWire{
+			Name: s.Name, Threads: s.Threads, Daemons: s.Daemons, CPUs: s.CPUs,
+			InitialReplicas: s.InitialReplicas, MaxReplicas: s.MaxReplicas,
+			StartupDelaySec: s.StartupDelaySec,
+			IngressCostMs:   s.IngressCostMs, IngressWindow: s.IngressWindow,
+			Handlers: hw,
+		})
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for AppSpec.
+func (a *AppSpec) UnmarshalJSON(data []byte) error {
+	var wire appSpecWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	a.Name = wire.Name
+	a.Classes = wire.Classes
+	a.Services = nil
+	for _, sw := range wire.Services {
+		ss := ServiceSpec{
+			Name: sw.Name, Threads: sw.Threads, Daemons: sw.Daemons, CPUs: sw.CPUs,
+			InitialReplicas: sw.InitialReplicas, MaxReplicas: sw.MaxReplicas,
+			StartupDelaySec: sw.StartupDelaySec,
+			IngressCostMs:   sw.IngressCostMs, IngressWindow: sw.IngressWindow,
+			Handlers: map[string][]Step{},
+		}
+		for class, envs := range sw.Handlers {
+			steps, err := decodeSteps(envs)
+			if err != nil {
+				return fmt.Errorf("service %s class %s: %w", sw.Name, class, err)
+			}
+			ss.Handlers[class] = steps
+		}
+		a.Services = append(a.Services, ss)
+	}
+	return nil
+}

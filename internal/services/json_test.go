@@ -1,0 +1,97 @@
+package services
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+func TestAppSpecJSONRoundTrip(t *testing.T) {
+	spec := AppSpec{
+		Name: "roundtrip",
+		Services: []ServiceSpec{
+			{
+				Name: "front", Threads: 128, Daemons: 16, CPUs: 2,
+				InitialReplicas: 3, MaxReplicas: 10, StartupDelaySec: 2.5,
+				IngressCostMs: 0.2, IngressWindow: 32,
+				Handlers: map[string][]Step{
+					"go": Seq(
+						Compute{MeanMs: 1.5, CV: 0.4},
+						Par{Branches: [][]Step{
+							{Call{Service: "b1", Mode: NestedRPC}},
+							{Call{Service: "b2", Mode: EventRPC, Class: "alt"}},
+						}},
+						Spawn{Service: "w", Class: "bg"},
+						Call{Service: "w", Mode: MQ},
+					),
+				},
+			},
+			{Name: "b1", Handlers: map[string][]Step{"go": Seq(Compute{MeanMs: 2})}},
+			{Name: "b2", Handlers: map[string][]Step{"alt": Seq(Compute{MeanMs: 3})}},
+			{Name: "w", Handlers: map[string][]Step{
+				"go": Seq(Compute{MeanMs: 4}),
+				"bg": Seq(Compute{MeanMs: 5}),
+			}},
+		},
+		Classes: []ClassSpec{
+			{Name: "go", Entry: "front", SLAPercentile: 99, SLAMillis: 100},
+			{Name: "alt", Derived: true, SLAPercentile: 99, SLAMillis: 100},
+			{Name: "bg", Entry: "w", Derived: true, SLAPercentile: 50, SLAMillis: 200},
+		},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AppSpec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", spec, got)
+	}
+	// The decoded spec must also be deployable.
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded spec invalid: %v", err)
+	}
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, got)
+	app.Inject("go")
+	eng.RunUntil(sim.Second)
+	if app.CompletedJobs() == 0 {
+		t.Fatal("decoded spec did not run")
+	}
+}
+
+func TestUnknownStepTypeRejected(t *testing.T) {
+	data := []byte(`{"name":"x","services":[{"name":"s","handlers":{"c":[{"type":"teleport"}]}}],"classes":[]}`)
+	var got AppSpec
+	err := json.Unmarshal(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "unknown step type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownCallModeRejected(t *testing.T) {
+	data := []byte(`{"name":"x","services":[{"name":"s","handlers":{"c":[{"type":"call","service":"s","mode":"carrier-pigeon"}]}}],"classes":[]}`)
+	var got AppSpec
+	err := json.Unmarshal(data, &got)
+	if err == nil || !strings.Contains(err.Error(), "unknown call mode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyModeDefaultsToNested(t *testing.T) {
+	data := []byte(`{"name":"x","services":[{"name":"s","handlers":{"c":[{"type":"call","service":"t"}]}},{"name":"t","handlers":{"c":[{"type":"compute","mean_ms":1}]}}],"classes":[{"Name":"c","Entry":"s","SLAPercentile":99,"SLAMillis":10}]}`)
+	var got AppSpec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	call := got.Services[0].Handlers["c"][0].(Call)
+	if call.Mode != NestedRPC {
+		t.Fatalf("mode = %v", call.Mode)
+	}
+}

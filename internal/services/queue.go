@@ -1,0 +1,62 @@
+package services
+
+import "container/heap"
+
+// reqQueue is the pending-request queue of a service: strict priority order
+// (lower Priority value first), FIFO within a priority. For MQ-connected
+// services this *is* the message queue — high-priority messages are always
+// drained before low-priority ones (§VI, video processing pipeline).
+type reqQueue struct {
+	h   reqHeap
+	seq uint64
+}
+
+type queued struct {
+	req *Request
+	seq uint64
+}
+
+type reqHeap []queued
+
+func (h reqHeap) Len() int { return len(h) }
+func (h reqHeap) Less(i, j int) bool {
+	if h[i].req.Priority != h[j].req.Priority {
+		return h[i].req.Priority < h[j].req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *reqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queued{}
+	*h = old[:n-1]
+	return it
+}
+
+func (q *reqQueue) push(r *Request) {
+	q.seq++
+	heap.Push(&q.h, queued{req: r, seq: q.seq})
+}
+
+func (q *reqQueue) pop() *Request {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(queued).req
+}
+
+func (q *reqQueue) len() int { return len(q.h) }
+
+// lenPriority counts queued requests with exactly the given priority.
+func (q *reqQueue) lenPriority(p int) int {
+	n := 0
+	for _, it := range q.h {
+		if it.req.Priority == p {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package services
+
+import "ursa/internal/cluster"
+
+// Replica is one container instance of a service: a worker thread pool, a
+// daemon pool for event-driven continuations, and a processor-sharing CPU.
+type Replica struct {
+	svc       *Service
+	cpu       *cpuSched
+	placement cluster.Placement
+
+	threads     int
+	busyWorkers int
+
+	daemons     int
+	busyDaemons int
+	daemonWait  []func(release func())
+
+	draining bool
+	retired  bool
+}
+
+func newReplica(s *Service) *Replica {
+	cores := s.spec.CPUs * s.cpuFactor
+	return &Replica{
+		svc:     s,
+		cpu:     newCPUSched(s.app.Eng, cores),
+		threads: s.spec.Threads,
+		daemons: s.spec.Daemons,
+	}
+}
+
+// freeWorkers reports available worker slots.
+func (r *Replica) freeWorkers() int { return r.threads - r.busyWorkers }
+
+// acquireDaemon grants a daemon slot to fn (possibly later, when a slot
+// frees). fn receives a release function that must be called exactly once.
+// While a handler waits here its worker thread stays blocked — the source of
+// the milder event-driven backpressure.
+func (r *Replica) acquireDaemon(fn func(release func())) {
+	if r.busyDaemons < r.daemons {
+		r.busyDaemons++
+		fn(r.releaseDaemonFn())
+		return
+	}
+	r.daemonWait = append(r.daemonWait, fn)
+}
+
+func (r *Replica) releaseDaemonFn() func() {
+	released := false
+	return func() {
+		if released {
+			panic("services: daemon slot released twice")
+		}
+		released = true
+		r.releaseDaemon()
+	}
+}
+
+func (r *Replica) releaseDaemon() {
+	if len(r.daemonWait) > 0 {
+		next := r.daemonWait[0]
+		copy(r.daemonWait, r.daemonWait[1:])
+		r.daemonWait = r.daemonWait[:len(r.daemonWait)-1]
+		next(r.releaseDaemonFn())
+		return
+	}
+	r.busyDaemons--
+	r.maybeRetire()
+}
+
+// idle reports whether the replica holds no work at all.
+func (r *Replica) idle() bool {
+	return r.busyWorkers == 0 && r.busyDaemons == 0 && len(r.daemonWait) == 0
+}
+
+// maybeRetire finalises a draining replica once it is fully idle.
+func (r *Replica) maybeRetire() {
+	if !r.draining || r.retired || !r.idle() {
+		return
+	}
+	r.retired = true
+	r.svc.finishRetire(r)
+}

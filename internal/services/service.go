@@ -1,0 +1,389 @@
+package services
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/metrics"
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// Service is a running microservice: a pending-request queue shared by its
+// replicas (standing in for the cluster load balancer, and for MQ-connected
+// services literally the message queue), plus the service's metrics.
+type Service struct {
+	app  *App
+	spec ServiceSpec
+	rng  *rand.Rand
+
+	queue    reqQueue
+	replicas []*Replica // active
+	draining []*Replica
+	rrNext   int
+
+	pendingStarts int
+	cpuFactor     float64 // throttling injection multiplier (1 = nominal)
+
+	// Ingress flow-control state (active when spec.IngressCostMs > 0).
+	ingressBusy int
+	ingressWait []pendingSend
+	ingressRR   int
+
+	// RespTime records the per-tier response time of every request handled
+	// by the service: (completion − arrival) − nested-RPC downstream wait,
+	// exactly the S0−R0 metric of Fig. 2. Milliseconds.
+	RespTime *metrics.Windowed
+	// RespByClass is RespTime split per request class.
+	RespByClass *metrics.LatencyRecorder
+	// Arrivals counts arriving requests per class (the per-class service
+	// load the LPR controller divides by the threshold).
+	Arrivals map[string]*metrics.CounterSeries
+	// ArrivalsAll counts all arrivals.
+	ArrivalsAll *metrics.CounterSeries
+	// UtilSamples holds one CPU-utilisation sample (0..1) per metrics
+	// window, written by the app's sampling ticker.
+	UtilSamples *metrics.Windowed
+	// AllocGauge tracks currently allocated CPUs across live replicas
+	// (active + draining), for the Fig. 12 allocation accounting.
+	AllocGauge *metrics.Gauge
+
+	lastBusy, lastCap       float64
+	retiredBusy, retiredCap float64
+}
+
+func newService(app *App, spec ServiceSpec) *Service {
+	spec.applyDefaults()
+	s := &Service{
+		app:         app,
+		spec:        spec,
+		rng:         app.Eng.RNG("svc/" + spec.Name),
+		cpuFactor:   1,
+		RespTime:    metrics.NewWindowed(app.window),
+		RespByClass: metrics.NewLatencyRecorder(app.window),
+		Arrivals:    map[string]*metrics.CounterSeries{},
+		ArrivalsAll: metrics.NewCounterSeries(app.window),
+		UtilSamples: metrics.NewWindowed(app.window),
+		AllocGauge:  metrics.NewGauge(app.Eng.Now(), 0),
+	}
+	for i := 0; i < spec.InitialReplicas; i++ {
+		s.addReplica()
+	}
+	return s
+}
+
+// Name reports the service name.
+func (s *Service) Name() string { return s.spec.Name }
+
+// Spec returns a copy of the (defaulted) service specification.
+func (s *Service) Spec() ServiceSpec { return s.spec }
+
+// Replicas reports the active replica count (excluding draining ones).
+func (s *Service) Replicas() int { return len(s.replicas) + s.pendingStarts }
+
+// AllocatedCPUs reports CPUs currently held (active + draining replicas).
+func (s *Service) AllocatedCPUs() float64 { return s.AllocGauge.Value() }
+
+// QueueLen reports the number of requests waiting for a worker.
+func (s *Service) QueueLen() int { return s.queue.len() }
+
+// QueueLenPriority reports queued requests of the given priority.
+func (s *Service) QueueLenPriority(p int) int { return s.queue.lenPriority(p) }
+
+// addReplica creates and activates a new replica immediately. With a bound
+// cluster it first places the replica on a node; placement failure leaves
+// the service at its current size and counts as an unschedulable event.
+func (s *Service) addReplica() bool {
+	r := newReplica(s)
+	if cl := s.app.Cluster; cl != nil {
+		p, err := cl.Place(s.spec.CPUs)
+		if err != nil {
+			s.app.UnschedulableEvents++
+			return false
+		}
+		r.placement = p
+	}
+	s.replicas = append(s.replicas, r)
+	s.updateAlloc()
+	s.drainIngress() // window capacity grew
+	s.pump()
+	return true
+}
+
+func (s *Service) updateAlloc() {
+	live := float64(len(s.replicas)+len(s.draining)) * s.spec.CPUs
+	s.AllocGauge.Set(s.app.Eng.Now(), live)
+}
+
+// SetReplicas scales the service to n active replicas. Scale-out honours
+// StartupDelaySec; scale-in drains replicas gracefully (no new work, retire
+// when idle). Draining replicas are reactivated before new ones are created.
+func (s *Service) SetReplicas(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if s.spec.MaxReplicas > 0 && n > s.spec.MaxReplicas {
+		n = s.spec.MaxReplicas
+	}
+	cur := len(s.replicas) + s.pendingStarts
+	switch {
+	case n > cur:
+		need := n - cur
+		// Reactivate draining replicas first.
+		for need > 0 && len(s.draining) > 0 {
+			r := s.draining[len(s.draining)-1]
+			s.draining = s.draining[:len(s.draining)-1]
+			r.draining = false
+			s.replicas = append(s.replicas, r)
+			need--
+		}
+		for i := 0; i < need; i++ {
+			if s.spec.StartupDelaySec > 0 {
+				s.pendingStarts++
+				s.app.Eng.Schedule(sim.Seconds2Time(s.spec.StartupDelaySec), func() {
+					s.pendingStarts--
+					s.addReplica()
+				})
+			} else if !s.addReplica() {
+				break // cluster out of capacity
+			}
+		}
+		s.updateAlloc()
+		s.pump()
+	case n < cur:
+		drop := cur - n
+		// Prefer cancelling pending starts implicitly by draining active
+		// replicas; pending starts still arrive but the next SetReplicas
+		// call (controllers run periodically) corrects any overshoot.
+		for drop > 0 && len(s.replicas) > 0 {
+			last := s.replicas[len(s.replicas)-1]
+			s.replicas = s.replicas[:len(s.replicas)-1]
+			last.draining = true
+			s.draining = append(s.draining, last)
+			last.maybeRetire()
+			drop--
+		}
+		if s.rrNext >= len(s.replicas) {
+			s.rrNext = 0
+		}
+		s.updateAlloc()
+	}
+}
+
+// finishRetire removes a fully drained replica and preserves its CPU
+// accounting integrals.
+func (s *Service) finishRetire(r *Replica) {
+	for i, d := range s.draining {
+		if d == r {
+			s.draining = append(s.draining[:i], s.draining[i+1:]...)
+			break
+		}
+	}
+	busy, cap := r.cpu.snapshot()
+	s.retiredBusy += busy
+	s.retiredCap += cap
+	if cl := s.app.Cluster; cl != nil {
+		cl.Release(r.placement)
+	}
+	s.updateAlloc()
+}
+
+// SetCPUFactor throttles (or restores) the CPU limit of every replica to
+// factor × nominal CPUs — the Fig. 2 anomaly-injection knob.
+func (s *Service) SetCPUFactor(factor float64) {
+	if factor <= 0 {
+		panic("services: SetCPUFactor needs factor > 0")
+	}
+	s.cpuFactor = factor
+	for _, r := range s.replicas {
+		r.cpu.SetCores(s.spec.CPUs * factor)
+	}
+	for _, r := range s.draining {
+		r.cpu.SetCores(s.spec.CPUs * factor)
+	}
+}
+
+type pendingSend struct {
+	req      *Request
+	accepted func()
+}
+
+// Send delivers an RPC request through the service's ingress stage. If the
+// flow-control window is full, the request (and the caller's worker or
+// daemon thread with it) waits until the receiver admits it; admission then
+// costs IngressCostMs of the receiver's CPU. accepted (optional) fires at
+// admission — callers use it to start their "waiting for the downstream
+// response" clock, so send-blocking is charged to the *sender's* measured
+// response time, which is precisely the RPC backpressure of §III.
+// With IngressCostMs == 0 the request is enqueued immediately.
+func (s *Service) Send(r *Request, accepted func()) {
+	if s.spec.IngressCostMs <= 0 {
+		s.Enqueue(r)
+		if accepted != nil {
+			accepted()
+		}
+		return
+	}
+	if s.ingressBusy < s.ingressCapacity() {
+		s.admit(r, accepted)
+		return
+	}
+	s.ingressWait = append(s.ingressWait, pendingSend{req: r, accepted: accepted})
+}
+
+// ingressCapacity is the total flow-control window across active replicas.
+func (s *Service) ingressCapacity() int {
+	n := len(s.replicas)
+	if n < 1 {
+		n = 1
+	}
+	return s.spec.IngressWindow * n
+}
+
+// IngressQueueLen reports senders currently blocked on the window.
+func (s *Service) IngressQueueLen() int { return len(s.ingressWait) }
+
+func (s *Service) admit(r *Request, accepted func()) {
+	s.ingressBusy++
+	rep := s.pickIngressReplica()
+	rep.cpu.Run(s.spec.IngressCostMs/1e3, func() {
+		s.ingressBusy--
+		s.Enqueue(r)
+		if accepted != nil {
+			accepted()
+		}
+		s.drainIngress()
+	})
+}
+
+func (s *Service) pickIngressReplica() *Replica {
+	// Round-robin over active replicas, independent of worker placement.
+	if len(s.replicas) == 0 {
+		// All replicas draining (transient during scale-in): use one of
+		// them; scaling code keeps at least one replica live.
+		return s.draining[0]
+	}
+	s.ingressRR = (s.ingressRR + 1) % len(s.replicas)
+	return s.replicas[s.ingressRR]
+}
+
+func (s *Service) drainIngress() {
+	for len(s.ingressWait) > 0 && s.ingressBusy < s.ingressCapacity() {
+		next := s.ingressWait[0]
+		copy(s.ingressWait, s.ingressWait[1:])
+		s.ingressWait = s.ingressWait[:len(s.ingressWait)-1]
+		s.admit(next.req, next.accepted)
+	}
+}
+
+// Enqueue delivers a request to the service.
+func (s *Service) Enqueue(r *Request) {
+	now := s.app.Eng.Now()
+	r.arrival = now
+	r.svc = s
+	cs, ok := s.Arrivals[r.Class]
+	if !ok {
+		cs = metrics.NewCounterSeries(s.app.window)
+		s.Arrivals[r.Class] = cs
+	}
+	cs.Inc(now, 1)
+	s.ArrivalsAll.Inc(now, 1)
+	s.queue.push(r)
+	s.pump()
+}
+
+// pump assigns queued requests to free workers, round-robin over replicas.
+func (s *Service) pump() {
+	for s.queue.len() > 0 {
+		rep := s.pickReplica()
+		if rep == nil {
+			return
+		}
+		req := s.queue.pop()
+		s.start(rep, req)
+	}
+}
+
+func (s *Service) pickReplica() *Replica {
+	n := len(s.replicas)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		idx := (s.rrNext + i) % n
+		if s.replicas[idx].freeWorkers() > 0 {
+			s.rrNext = (idx + 1) % n
+			return s.replicas[idx]
+		}
+	}
+	return nil
+}
+
+// start runs a request's handler on a worker of rep.
+func (s *Service) start(rep *Replica, req *Request) {
+	steps, ok := s.spec.Handlers[req.Class]
+	if !ok {
+		panic(fmt.Sprintf("services: %s has no handler for class %q", s.spec.Name, req.Class))
+	}
+	rep.busyWorkers++
+	req.replica = rep
+	started := s.app.Eng.Now()
+	var wait sim.Time
+	s.app.runSteps(req, steps, &wait, func() {
+		now := s.app.Eng.Now()
+		resp := now - req.arrival - wait
+		if resp < 0 {
+			resp = 0
+		}
+		s.RespTime.Add(now, resp.Millis())
+		s.RespByClass.Record(now, req.Class, resp.Millis())
+		if tr := s.app.Tracer; tr != nil && req.Job != nil && req.Job.traceID != 0 {
+			tr.AddSpan(req.Job.traceID, trace.Span{
+				Service:        s.spec.Name,
+				Class:          req.Class,
+				Enqueued:       req.arrival,
+				Started:        started,
+				Finished:       now,
+				DownstreamWait: wait,
+			})
+		}
+		rep.busyWorkers--
+		rep.maybeRetire()
+		s.pump()
+		if req.onDone != nil {
+			req.onDone()
+		}
+	})
+}
+
+// CPUAccounting reports the service's cumulative CPU accounting: busy
+// core-seconds actually consumed and capacity core-seconds provisioned,
+// summed over all replicas past and present. Utilisation over an interval is
+// Δbusy/Δcapacity between two snapshots.
+func (s *Service) CPUAccounting() (busy, capacity float64) {
+	busy, capacity = s.retiredBusy, s.retiredCap
+	for _, r := range s.replicas {
+		b, c := r.cpu.snapshot()
+		busy += b
+		capacity += c
+	}
+	for _, r := range s.draining {
+		b, c := r.cpu.snapshot()
+		busy += b
+		capacity += c
+	}
+	return busy, capacity
+}
+
+// sampleUtilization computes the service-wide utilisation since the previous
+// call (busy core-seconds over capacity core-seconds), and resets the
+// accounting window. The app's sampling ticker calls this once per window.
+func (s *Service) sampleUtilization() float64 {
+	busy, capacity := s.CPUAccounting()
+	db, dc := busy-s.lastBusy, capacity-s.lastCap
+	s.lastBusy, s.lastCap = busy, capacity
+	if dc <= 0 {
+		return 0
+	}
+	return db / dc
+}

@@ -1,0 +1,213 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ServiceSpec is the static configuration of one microservice.
+type ServiceSpec struct {
+	Name string
+	// Threads is the number of worker slots per replica (request handlers
+	// executing concurrently). Finite thread pools are what make nested-RPC
+	// backpressure possible.
+	Threads int
+	// Daemons is the number of event-driven continuation slots per replica
+	// (Fig. 1(b)'s daemon threads).
+	Daemons int
+	// CPUs is the container CPU limit per replica. Per §VII-A the paper
+	// uses the static CPU manager policy with integral CPUs.
+	CPUs float64
+	// InitialReplicas is the replica count at deployment time.
+	InitialReplicas int
+	// MaxReplicas caps scaling (cluster capacity); 0 means unlimited.
+	MaxReplicas int
+	// StartupDelaySec is the container start latency applied on scale-out.
+	StartupDelaySec float64
+	// IngressCostMs is the CPU cost of accepting one inbound RPC
+	// (deserialisation, connection handling) on the receiving replica.
+	// When > 0 the service gets an ingress stage with a bounded
+	// flow-control window: senders block inside their own handler until
+	// the receiver admits the request — the mechanism behind RPC
+	// backpressure (§III). Zero disables the ingress stage; MQ deliveries
+	// always bypass it (the broker decouples producer from consumer).
+	IngressCostMs float64
+	// IngressWindow is the flow-control window per replica (concurrent
+	// inbound RPCs being admitted); defaults to 32 when ingress is on.
+	IngressWindow int
+	// Handlers maps a request class to the steps executed for it.
+	Handlers map[string][]Step
+}
+
+func (s *ServiceSpec) applyDefaults() {
+	if s.Threads <= 0 {
+		s.Threads = 8
+	}
+	if s.Daemons <= 0 {
+		s.Daemons = 16
+	}
+	if s.CPUs <= 0 {
+		s.CPUs = 1
+	}
+	if s.InitialReplicas <= 0 {
+		s.InitialReplicas = 1
+	}
+	if s.IngressCostMs > 0 && s.IngressWindow <= 0 {
+		s.IngressWindow = 32
+	}
+}
+
+// ClassSpec describes one request class or priority level (§VI): its entry
+// service and its end-to-end SLA.
+type ClassSpec struct {
+	Name string
+	// Entry is the service that receives the class's requests. Empty for
+	// derived classes that are only spawned by other flows.
+	Entry string
+	// Priority orders queue service; lower is more urgent. MQ consumers
+	// always drain lower values first.
+	Priority int
+	// SLAPercentile is the latency percentile the SLA constrains (e.g. 99,
+	// or 50 for the pipeline's low-priority class).
+	SLAPercentile float64
+	// SLAMillis is the SLA latency target in milliseconds.
+	SLAMillis float64
+	// Derived marks classes not generated directly by clients (spawned by
+	// Spawn steps, e.g. update-timeline).
+	Derived bool
+}
+
+// AppSpec is a complete application: services plus request classes.
+type AppSpec struct {
+	Name     string
+	Services []ServiceSpec
+	Classes  []ClassSpec
+}
+
+// Class returns the spec of a class, or nil.
+func (a *AppSpec) Class(name string) *ClassSpec {
+	for i := range a.Classes {
+		if a.Classes[i].Name == name {
+			return &a.Classes[i]
+		}
+	}
+	return nil
+}
+
+// ServiceSpecByName returns the spec of a service, or nil.
+func (a *AppSpec) ServiceSpecByName(name string) *ServiceSpec {
+	for i := range a.Services {
+		if a.Services[i].Name == name {
+			return &a.Services[i]
+		}
+	}
+	return nil
+}
+
+// EntryClasses lists non-derived classes (those clients generate), sorted.
+func (a *AppSpec) EntryClasses() []string {
+	var out []string
+	for _, c := range a.Classes {
+		if !c.Derived {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks referential integrity: entries exist, every Call/Spawn
+// target exists and implements a handler for the effective class, and class
+// names are unique. It walks each class's flow from its entry handler.
+func (a *AppSpec) Validate() error {
+	svcByName := map[string]*ServiceSpec{}
+	for i := range a.Services {
+		s := &a.Services[i]
+		if s.Name == "" {
+			return fmt.Errorf("app %s: service %d has empty name", a.Name, i)
+		}
+		if _, dup := svcByName[s.Name]; dup {
+			return fmt.Errorf("app %s: duplicate service %q", a.Name, s.Name)
+		}
+		svcByName[s.Name] = s
+	}
+	seenClass := map[string]bool{}
+	for _, c := range a.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("app %s: class with empty name", a.Name)
+		}
+		if seenClass[c.Name] {
+			return fmt.Errorf("app %s: duplicate class %q", a.Name, c.Name)
+		}
+		seenClass[c.Name] = true
+		if c.Derived && c.Entry == "" {
+			continue
+		}
+		entry, ok := svcByName[c.Entry]
+		if !ok {
+			return fmt.Errorf("app %s: class %q entry service %q not found", a.Name, c.Name, c.Entry)
+		}
+		if err := a.validateFlow(svcByName, entry, c.Name, map[string]bool{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateFlow recursively checks that svc implements class and that every
+// downstream reference resolves.
+func (a *AppSpec) validateFlow(svcs map[string]*ServiceSpec, svc *ServiceSpec, class string, visiting map[string]bool) error {
+	key := svc.Name + "/" + class
+	if visiting[key] {
+		return nil // already on the stack; cycles are legal (retries etc.)
+	}
+	visiting[key] = true
+	steps, ok := svc.Handlers[class]
+	if !ok {
+		return fmt.Errorf("app %s: service %q has no handler for class %q", a.Name, svc.Name, class)
+	}
+	return a.validateSteps(svcs, svc, class, steps, visiting)
+}
+
+func (a *AppSpec) validateSteps(svcs map[string]*ServiceSpec, svc *ServiceSpec, class string, steps []Step, visiting map[string]bool) error {
+	for _, st := range steps {
+		switch s := st.(type) {
+		case Compute:
+			if s.MeanMs <= 0 {
+				return fmt.Errorf("app %s: service %q class %q: Compute with non-positive mean", a.Name, svc.Name, class)
+			}
+		case Call:
+			target, ok := svcs[s.Service]
+			if !ok {
+				return fmt.Errorf("app %s: service %q calls unknown service %q", a.Name, svc.Name, s.Service)
+			}
+			cls := class
+			if s.Class != "" {
+				cls = s.Class
+			}
+			if err := a.validateFlow(svcs, target, cls, visiting); err != nil {
+				return err
+			}
+		case Spawn:
+			target, ok := svcs[s.Service]
+			if !ok {
+				return fmt.Errorf("app %s: service %q spawns at unknown service %q", a.Name, svc.Name, s.Service)
+			}
+			if a.Class(s.Class) == nil {
+				return fmt.Errorf("app %s: service %q spawns unknown class %q", a.Name, svc.Name, s.Class)
+			}
+			if err := a.validateFlow(svcs, target, s.Class, visiting); err != nil {
+				return err
+			}
+		case Par:
+			for _, br := range s.Branches {
+				if err := a.validateSteps(svcs, svc, class, br, visiting); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("app %s: service %q class %q: unknown step %T", a.Name, svc.Name, class, st)
+		}
+	}
+	return nil
+}

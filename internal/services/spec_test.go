@@ -1,0 +1,138 @@
+package services
+
+import (
+	"strings"
+	"testing"
+)
+
+func validSpec() AppSpec {
+	return AppSpec{
+		Name: "valid",
+		Services: []ServiceSpec{
+			{Name: "front", Handlers: map[string][]Step{
+				"read": Seq(Compute{MeanMs: 1}, Call{Service: "back", Mode: NestedRPC}),
+			}},
+			{Name: "back", Handlers: map[string][]Step{
+				"read": Seq(Compute{MeanMs: 2}),
+			}},
+		},
+		Classes: []ClassSpec{{Name: "read", Entry: "front", SLAPercentile: 99, SLAMillis: 50}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	spec := validSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateUnknownEntry(t *testing.T) {
+	spec := validSpec()
+	spec.Classes[0].Entry = "nope"
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "entry service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateMissingHandler(t *testing.T) {
+	spec := validSpec()
+	delete(spec.Services[1].Handlers, "read")
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateUnknownCallTarget(t *testing.T) {
+	spec := validSpec()
+	spec.Services[0].Handlers["read"] = Seq(Call{Service: "ghost", Mode: NestedRPC})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateDuplicateService(t *testing.T) {
+	spec := validSpec()
+	spec.Services = append(spec.Services, ServiceSpec{Name: "front"})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateDuplicateClass(t *testing.T) {
+	spec := validSpec()
+	spec.Classes = append(spec.Classes, ClassSpec{Name: "read", Entry: "front"})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate class") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateSpawnUnknownClass(t *testing.T) {
+	spec := validSpec()
+	spec.Services[0].Handlers["read"] = Seq(Spawn{Service: "back", Class: "ghost"})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateNonPositiveCompute(t *testing.T) {
+	spec := validSpec()
+	spec.Services[1].Handlers["read"] = Seq(Compute{MeanMs: 0})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "non-positive mean") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateParBranches(t *testing.T) {
+	spec := validSpec()
+	spec.Services[0].Handlers["read"] = Seq(Par{Branches: [][]Step{
+		{Call{Service: "back", Mode: NestedRPC}},
+		{Call{Service: "missing", Mode: NestedRPC}},
+	}})
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateClassOverrideOnCall(t *testing.T) {
+	spec := validSpec()
+	spec.Services[1].Handlers["store"] = Seq(Compute{MeanMs: 1})
+	spec.Services[0].Handlers["read"] = Seq(Call{Service: "back", Mode: NestedRPC, Class: "store"})
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("class-override call rejected: %v", err)
+	}
+}
+
+func TestApplyDefaults(t *testing.T) {
+	s := ServiceSpec{Name: "x"}
+	s.applyDefaults()
+	if s.Threads != 8 || s.Daemons != 16 || s.CPUs != 1 || s.InitialReplicas != 1 {
+		t.Fatalf("defaults = %+v", s)
+	}
+}
+
+func TestEntryClasses(t *testing.T) {
+	spec := validSpec()
+	spec.Classes = append(spec.Classes, ClassSpec{Name: "derived-x", Derived: true})
+	got := spec.EntryClasses()
+	if len(got) != 1 || got[0] != "read" {
+		t.Fatalf("EntryClasses = %v", got)
+	}
+}
+
+func TestCallModeString(t *testing.T) {
+	if NestedRPC.String() != "nested-rpc" || EventRPC.String() != "event-rpc" || MQ.String() != "mq" {
+		t.Fatal("CallMode strings wrong")
+	}
+	if CallMode(9).String() != "CallMode(9)" {
+		t.Fatal("unknown CallMode string wrong")
+	}
+}

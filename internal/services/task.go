@@ -1,0 +1,162 @@
+package services
+
+import (
+	"fmt"
+
+	"ursa/internal/sim"
+)
+
+// Job is one end-to-end unit of measured work: a client request plus every
+// asynchronous continuation it triggers within the same request class. Its
+// latency (start → last outstanding branch done) is what the end-to-end SLA
+// constrains.
+type Job struct {
+	Class    string
+	Priority int
+	Start    sim.Time
+
+	app         *App
+	traceID     uint64
+	outstanding int
+	finished    bool
+	// Done, when non-nil, fires once when the job completes.
+	Done func(j *Job, latency sim.Time)
+}
+
+// add registers one more outstanding branch.
+func (j *Job) add() { j.outstanding++ }
+
+// branchDone retires one branch and completes the job at zero.
+func (j *Job) branchDone() {
+	j.outstanding--
+	if j.outstanding < 0 {
+		panic("services: job branch accounting went negative")
+	}
+	if j.outstanding == 0 && !j.finished {
+		j.finished = true
+		now := j.app.Eng.Now()
+		lat := now - j.Start
+		j.app.E2E.Record(now, j.Class, lat.Millis())
+		j.app.completedJobs++
+		if j.app.Tracer != nil {
+			j.app.Tracer.EndJob(j.traceID, now)
+		}
+		if j.Done != nil {
+			j.Done(j, lat)
+		}
+	}
+}
+
+// Request is one invocation of one service (a single tier's view of a job).
+type Request struct {
+	Job      *Job
+	Class    string
+	Priority int
+
+	arrival sim.Time
+	svc     *Service
+	replica *Replica
+	onDone  func()
+}
+
+// runSteps executes handler steps sequentially; waitAcc accumulates time
+// spent blocked on nested-RPC responses (excluded from the tier's measured
+// response time, per Fig. 2's S0−R0 definition). done fires after the final
+// step.
+func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i == len(steps) {
+			done()
+			return
+		}
+		switch st := steps[i].(type) {
+		case Compute:
+			ms := st.Dist().Sample(req.svc.rng)
+			req.replica.cpu.Run(ms/1e3, func() { step(i + 1) })
+		case Call:
+			target := a.mustService(st.Service)
+			class := req.Class
+			if st.Class != "" {
+				class = st.Class
+			}
+			switch st.Mode {
+			case NestedRPC:
+				// The response-wait clock starts at admission by the
+				// downstream ingress; send-blocking before that charges
+				// the caller's own response time (backpressure).
+				var t0 sim.Time
+				target.Send(&Request{
+					Job:      req.Job,
+					Class:    class,
+					Priority: req.Priority,
+					onDone: func() {
+						*waitAcc += a.Eng.Now() - t0
+						step(i + 1)
+					},
+				}, func() { t0 = a.Eng.Now() })
+			case EventRPC:
+				// Block the worker until a daemon slot is granted, then
+				// respond immediately while the daemon performs the send
+				// (possibly blocking on the downstream window) and awaits
+				// the response.
+				req.replica.acquireDaemon(func(release func()) {
+					req.Job.add()
+					target.Send(&Request{
+						Job:      req.Job,
+						Class:    class,
+						Priority: req.Priority,
+						onDone: func() {
+							release()
+							req.Job.branchDone()
+						},
+					}, nil)
+					step(i + 1)
+				})
+			case MQ:
+				req.Job.add()
+				target.Enqueue(&Request{
+					Job:      req.Job,
+					Class:    class,
+					Priority: req.Priority,
+					onDone:   req.Job.branchDone,
+				})
+				step(i + 1)
+			default:
+				panic(fmt.Sprintf("services: unknown call mode %v", st.Mode))
+			}
+		case Spawn:
+			target := a.mustService(st.Service)
+			a.injectAt(target, st.Class)
+			step(i + 1)
+		case Par:
+			if len(st.Branches) == 0 {
+				step(i + 1)
+				return
+			}
+			remaining := len(st.Branches)
+			waits := make([]sim.Time, len(st.Branches))
+			for bi, br := range st.Branches {
+				bi := bi
+				a.runSteps(req, br, &waits[bi], func() {
+					remaining--
+					if remaining == 0 {
+						// Branches overlap in time; count the longest
+						// branch wait rather than the sum.
+						max := sim.Time(0)
+						for _, w := range waits {
+							if w > max {
+								max = w
+							}
+						}
+						*waitAcc += max
+						step(i + 1)
+					}
+				})
+			}
+		default:
+			panic(fmt.Sprintf("services: unknown step type %T", st))
+		}
+	}
+	step(0)
+}

@@ -1,0 +1,78 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// TestTracingIntegration checks that a traced nested-RPC request produces
+// spans whose per-tier response times reconstruct the end-to-end latency.
+func TestTracingIntegration(t *testing.T) {
+	eng := sim.NewEngine(71)
+	app := MustNewApp(eng, chainSpec(3, NestedRPC, 10))
+	app.Tracer = trace.NewTracer(1, 0)
+	app.Inject("req")
+	eng.RunUntil(sim.Second)
+
+	traces := app.Tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 tiers", len(tr.Spans))
+	}
+	// Unloaded deterministic chain: each tier's response time is its 10ms
+	// burst, and they sum to the 30ms end-to-end latency.
+	sum := sim.Time(0)
+	for _, s := range tr.Spans {
+		if math.Abs(s.ResponseTime().Millis()-10) > 1e-6 {
+			t.Fatalf("span %s response = %v", s.Service, s.ResponseTime())
+		}
+		sum += s.ResponseTime()
+	}
+	if sum != tr.Latency() {
+		t.Fatalf("span sum %v != e2e %v", sum, tr.Latency())
+	}
+	if svc, _ := tr.CriticalService(); svc == "" {
+		t.Fatal("no critical service")
+	}
+}
+
+// TestTracingCapturesQueueing verifies queue wait shows up in spans.
+func TestTracingCapturesQueueing(t *testing.T) {
+	spec := oneTierSpec(1)
+	spec.Services[0].Threads = 1
+	spec.Services[0].CPUs = 1
+	eng := sim.NewEngine(72)
+	app := MustNewApp(eng, spec)
+	app.Tracer = trace.NewTracer(1, 0)
+	app.Inject("get")
+	app.Inject("get") // waits for the single worker
+	eng.RunUntil(sim.Second)
+	traces := app.Tracer.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	second := traces[1].Spans[0]
+	if second.QueueWait() < 9*sim.Millisecond {
+		t.Fatalf("second request queue wait = %v, want ≈10ms", second.QueueWait())
+	}
+}
+
+// TestTracingSampling verifies only sampled jobs carry spans.
+func TestTracingSampling(t *testing.T) {
+	eng := sim.NewEngine(73)
+	app := MustNewApp(eng, oneTierSpec(2))
+	app.Tracer = trace.NewTracer(4, 0)
+	for i := 0; i < 16; i++ {
+		app.Inject("get")
+	}
+	eng.RunUntil(sim.Second)
+	if got := len(app.Tracer.Traces()); got != 4 {
+		t.Fatalf("sampled traces = %d, want 4", got)
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are returned by the scheduling
+// methods so callers can Cancel them (for example a processor-sharing
+// scheduler re-planning completion times, or a timeout that was beaten by a
+// response).
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among events at the same instant
+	fn       func()
+	index    int // heap index, -1 when popped
+	canceled bool
+}
+
+// At reports the simulated time the event fires (or would have fired).
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the engine's
+// goroutine, which is what makes runs bit-for-bit reproducible.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	seed   int64
+	// fired counts executed (non-canceled) events, for diagnostics.
+	fired uint64
+}
+
+// NewEngine returns an engine at time zero. The seed parameterises all RNG
+// streams derived through Engine.RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed reports the engine's base seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including canceled ones not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay. It panics if delay is negative.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step executes the next pending event, skipping canceled ones. It returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// strictly after the deadline; the clock is then advanced to the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Drain runs until no events remain. A maxEvents guard prevents runaway
+// models; it panics when exceeded.
+func (e *Engine) Drain(maxEvents uint64) {
+	var n uint64
+	for e.Step() {
+		n++
+		if n > maxEvents {
+			panic("sim: Drain exceeded event budget; model is likely self-perpetuating")
+		}
+	}
+}
+
+// Every schedules fn to run now+period, then every period thereafter, until
+// the returned Ticker is stopped.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event; see Engine.Every.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

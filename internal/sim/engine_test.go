@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Fatalf("FromDuration = %v", got)
+	}
+	if got := (2 * Second).Millis(); got != 2000 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if got := (90 * Minute).Hours(); got != 1.5 {
+		t.Fatalf("Hours = %v", got)
+	}
+	if got := Seconds2Time(0.25); got != 250*Millisecond {
+		t.Fatalf("Seconds2Time = %v", got)
+	}
+	if got := Millis2Time(1.5); got != 1500*Microsecond {
+		t.Fatalf("Millis2Time = %v", got)
+	}
+	if (3 * Second).String() != "3s" {
+		t.Fatalf("String = %q", (3 * Second).String())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3*Second, func() { order = append(order, 3) })
+	e.Schedule(1*Second, func() { order = append(order, 1) })
+	e.Schedule(2*Second, func() { order = append(order, 2) })
+	e.Drain(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { order = append(order, i) })
+	}
+	e.Drain(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(Second, func() { fired = true })
+	ev.Cancel()
+	e.Drain(10)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*Second, func() {})
+	e.RunUntil(5 * Second)
+	if e.Now() != 5*Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+	if e.Fired() != 0 {
+		t.Fatal("future event fired early")
+	}
+	e.RunFor(10 * Second)
+	if e.Fired() != 1 || e.Now() != 15*Second {
+		t.Fatalf("fired=%d now=%v", e.Fired(), e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	e.Schedule(Second, func() {
+		got = append(got, e.Now())
+		e.Schedule(Second, func() { got = append(got, e.Now()) })
+	})
+	e.Drain(10)
+	if len(got) != 2 || got[0] != Second || got[1] != 2*Second {
+		t.Fatalf("nested schedule times = %v", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	tick := e.Every(Minute, func() { n++ })
+	e.RunUntil(5 * Minute)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	tick.Stop()
+	e.RunUntil(10 * Minute)
+	if n != 5 {
+		t.Fatalf("ticker fired after Stop: %d", n)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick *Ticker
+	tick = e.Every(Second, func() {
+		n++
+		if n == 3 {
+			tick.Stop()
+		}
+	})
+	e.RunUntil(10 * Second)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	NewEngine(1).Schedule(-Second, func() {})
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(Second, func() {})
+	e.RunUntil(2 * Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on At in the past")
+		}
+	}()
+	e.At(Second, func() {})
+}
+
+func TestRNGIndependentStreams(t *testing.T) {
+	e := NewEngine(42)
+	a, b := e.RNG("a"), e.RNG("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 'a' and 'b' collide %d/100 draws", same)
+	}
+	// Same name must reproduce the same stream.
+	c, d := NewEngine(42).RNG("a"), NewEngine(42).RNG("a")
+	for i := 0; i < 100; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("same (seed,name) stream not reproducible")
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(7)
+		rng := e.RNG("load")
+		var times []Time
+		var arrive func()
+		arrive = func() {
+			times = append(times, e.Now())
+			if len(times) < 50 {
+				e.Schedule(Time(rng.ExpFloat64()*float64(Second)), arrive)
+			}
+		}
+		e.Schedule(0, arrive)
+		e.Drain(1000)
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: RunUntil never decreases the clock and fires every event at or
+// before the deadline, in timestamp order.
+func TestRunUntilProperty(t *testing.T) {
+	f := func(delays []uint16, deadline uint32) bool {
+		e := NewEngine(1)
+		var fireTimes []Time
+		for _, d := range delays {
+			e.Schedule(Time(d)*Millisecond, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		dl := Time(deadline) * Millisecond
+		e.RunUntil(dl)
+		if e.Now() < dl {
+			return false
+		}
+		prev := Time(-1)
+		for _, ft := range fireTimes {
+			if ft > dl || ft < prev {
+				return false
+			}
+			prev = ft
+		}
+		// All events at or before the deadline must have fired.
+		want := 0
+		for _, d := range delays {
+			if Time(d)*Millisecond <= dl {
+				want++
+			}
+		}
+		return len(fireTimes) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

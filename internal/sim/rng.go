@@ -1,0 +1,16 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG derives an independent, named random stream from the engine seed.
+// Components (each service, each load generator, ...) take their own stream
+// so that adding instrumentation or reordering unrelated code does not
+// perturb the random sequence another component observes.
+func (e *Engine) RNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+}

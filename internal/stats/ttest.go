@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// TTestResult reports the outcome of a Welch two-sample t-test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs Welch's unequal-variances t-test on samples a and b
+// and returns the two-sided p-value for the null hypothesis that the means
+// are equal. This is the test the paper uses both to detect convergence of
+// the proxy latency during backpressure profiling (§III) and to decide
+// threshold crossings in the resource controller (§V.4).
+//
+// Degenerate inputs (fewer than 2 points, or two identical zero-variance
+// samples) return P = 1 so callers treat them as "no evidence of change".
+func WelchTTest(a, b []float64) TTestResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{P: 1}
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	sa, sb := va/na, vb/nb
+	se := sa + sb
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{P: 1}
+		}
+		// Zero variance but different means: certain difference.
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}
+	}
+	t := (ma - mb) / math.Sqrt(se)
+	df := se * se / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * studentTTail(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}
+}
+
+// MeansEqual reports whether the test fails to reject equality of means at
+// significance level alpha (i.e. the samples look statistically the same).
+func MeansEqual(a, b []float64, alpha float64) bool {
+	return WelchTTest(a, b).P >= alpha
+}
+
+// MeanGreater reports whether the mean of a is significantly greater than
+// the mean of b at one-sided significance level alpha. The resource
+// controller uses this to decide that the actual load has exceeded the
+// scaling threshold despite noise.
+func MeanGreater(a, b []float64, alpha float64) bool {
+	r := WelchTTest(a, b)
+	if r.T <= 0 {
+		return false
+	}
+	return r.P/2 < alpha
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTail returns P(T > t) for a Student-t variable with df degrees of
+// freedom, t ≥ 0, via the regularized incomplete beta function.
+func studentTTail(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes' betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,203 @@
+// Package trace implements request-level distributed tracing for the
+// simulated cluster — the per-request view of the paper's tracing framework
+// (§V.1). A Tracer samples jobs and records one span per service visit:
+// queueing, execution, and downstream-wait segments, which is the data the
+// §III study's per-tier response time (S0−R0) is derived from. Traces also
+// power critical-path analysis: which service contributed the most latency
+// to a slow request.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ursa/internal/sim"
+)
+
+// Span is one service visit by one request.
+type Span struct {
+	Service string
+	Class   string
+	// Enqueued is when the request arrived at the service (R0).
+	Enqueued sim.Time
+	// Started is when a worker began the handler.
+	Started sim.Time
+	// Finished is when the handler completed (S0).
+	Finished sim.Time
+	// DownstreamWait is time blocked awaiting nested-RPC responses.
+	DownstreamWait sim.Time
+}
+
+// QueueWait is the time spent waiting for a worker.
+func (s Span) QueueWait() sim.Time { return s.Started - s.Enqueued }
+
+// ResponseTime is S0−R0 minus downstream wait — the §III per-tier metric.
+func (s Span) ResponseTime() sim.Time {
+	rt := s.Finished - s.Enqueued - s.DownstreamWait
+	if rt < 0 {
+		rt = 0
+	}
+	return rt
+}
+
+// OwnTime is handler execution time excluding queueing and downstream wait.
+func (s Span) OwnTime() sim.Time {
+	ot := s.Finished - s.Started - s.DownstreamWait
+	if ot < 0 {
+		ot = 0
+	}
+	return ot
+}
+
+// Trace is the set of spans of one job.
+type Trace struct {
+	JobID    uint64
+	Class    string
+	Start    sim.Time
+	End      sim.Time
+	Spans    []Span
+	Complete bool
+}
+
+// Latency is the end-to-end job latency.
+func (t *Trace) Latency() sim.Time { return t.End - t.Start }
+
+// CriticalService reports the service whose cumulative response time is the
+// largest share of the trace — the first place to look when a request is
+// slow.
+func (t *Trace) CriticalService() (string, sim.Time) {
+	byService := map[string]sim.Time{}
+	for _, s := range t.Spans {
+		byService[s.Service] += s.ResponseTime()
+	}
+	bestSvc, bestT := "", sim.Time(-1)
+	names := make([]string, 0, len(byService))
+	for n := range byService {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic tie-break
+	for _, n := range names {
+		if byService[n] > bestT {
+			bestSvc, bestT = n, byService[n]
+		}
+	}
+	return bestSvc, bestT
+}
+
+// String renders the trace as an indented timeline.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace job=%d class=%s latency=%v spans=%d\n", t.JobID, t.Class, t.Latency(), len(t.Spans))
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, "  %-20s queue=%-10v own=%-10v dswait=%-10v\n",
+			s.Service+"/"+s.Class, s.QueueWait(), s.OwnTime(), s.DownstreamWait)
+	}
+	return b.String()
+}
+
+// Tracer collects traces for a sampled fraction of jobs.
+type Tracer struct {
+	// SampleEvery keeps one of every N jobs (1 = all).
+	SampleEvery int
+	// Cap bounds retained traces (oldest evicted); 0 = unlimited.
+	Cap int
+
+	nextID  uint64
+	counter int
+	open    map[uint64]*Trace
+	done    []*Trace
+}
+
+// NewTracer builds a tracer sampling one of every n jobs, retaining at most
+// cap completed traces.
+func NewTracer(n, cap int) *Tracer {
+	if n < 1 {
+		n = 1
+	}
+	return &Tracer{SampleEvery: n, Cap: cap, open: map[uint64]*Trace{}}
+}
+
+// StartJob possibly begins a trace for a new job; 0 means "not sampled".
+func (tr *Tracer) StartJob(class string, now sim.Time) uint64 {
+	tr.counter++
+	if tr.counter%tr.SampleEvery != 0 {
+		return 0
+	}
+	tr.nextID++
+	id := tr.nextID
+	tr.open[id] = &Trace{JobID: id, Class: class, Start: now}
+	return id
+}
+
+// AddSpan appends a span to an open trace.
+func (tr *Tracer) AddSpan(id uint64, s Span) {
+	if id == 0 {
+		return
+	}
+	if t, ok := tr.open[id]; ok {
+		t.Spans = append(t.Spans, s)
+	}
+}
+
+// EndJob completes a trace.
+func (tr *Tracer) EndJob(id uint64, now sim.Time) {
+	if id == 0 {
+		return
+	}
+	t, ok := tr.open[id]
+	if !ok {
+		return
+	}
+	delete(tr.open, id)
+	t.End = now
+	t.Complete = true
+	tr.done = append(tr.done, t)
+	if tr.Cap > 0 && len(tr.done) > tr.Cap {
+		tr.done = append([]*Trace(nil), tr.done[len(tr.done)-tr.Cap:]...)
+	}
+}
+
+// Traces returns completed traces (oldest first).
+func (tr *Tracer) Traces() []*Trace { return tr.done }
+
+// TracesFor filters completed traces by class.
+func (tr *Tracer) TracesFor(class string) []*Trace {
+	var out []*Trace
+	for _, t := range tr.done {
+		if t.Class == class {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SlowestTrace returns the completed trace with the highest latency for a
+// class (nil when none).
+func (tr *Tracer) SlowestTrace(class string) *Trace {
+	var best *Trace
+	for _, t := range tr.done {
+		if t.Class != class {
+			continue
+		}
+		if best == nil || t.Latency() > best.Latency() {
+			best = t
+		}
+	}
+	return best
+}
+
+// CriticalBreakdown aggregates, across a class's traces, each service's
+// share of cumulative response time — a coarse critical-path profile.
+func (tr *Tracer) CriticalBreakdown(class string) map[string]sim.Time {
+	out := map[string]sim.Time{}
+	for _, t := range tr.done {
+		if t.Class != class {
+			continue
+		}
+		for _, s := range t.Spans {
+			out[s.Service] += s.ResponseTime()
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package workload generates open-loop user load against a simulated
+// application — the stand-in for the paper's Locust deployment (§VII-A).
+// Arrivals follow a (possibly non-homogeneous) Poisson process; request
+// classes are drawn from a weighted mix. Constant, diurnal, burst and skewed
+// patterns reproduce the three load regimes of §VII-E.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+)
+
+// Pattern is a time-varying target request rate.
+type Pattern interface {
+	// RPS reports the target arrival rate at simulated time t.
+	RPS(t sim.Time) float64
+}
+
+// Constant is a fixed-rate pattern.
+type Constant struct {
+	Value float64
+}
+
+// RPS implements Pattern.
+func (c Constant) RPS(sim.Time) float64 { return c.Value }
+
+// Diurnal ramps linearly from Base up to Peak at Period/2 and back down —
+// the paper's "RPS first gradually increases and then gradually decreases".
+// The pattern repeats every Period.
+type Diurnal struct {
+	Base, Peak float64
+	Period     sim.Time
+}
+
+// RPS implements Pattern.
+func (d Diurnal) RPS(t sim.Time) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	phase := float64(t%d.Period) / float64(d.Period) // 0..1
+	var frac float64
+	if phase < 0.5 {
+		frac = phase * 2
+	} else {
+		frac = (1 - phase) * 2
+	}
+	return d.Base + (d.Peak-d.Base)*frac
+}
+
+// Burst holds Base RPS and multiplies it by Factor during [Start, Start+Len)
+// — the paper's "RPS increases sharply by 50% to 125%".
+type Burst struct {
+	Base   float64
+	Factor float64
+	Start  sim.Time
+	Len    sim.Time
+}
+
+// RPS implements Pattern.
+func (b Burst) RPS(t sim.Time) float64 {
+	if t >= b.Start && t < b.Start+b.Len {
+		return b.Base * b.Factor
+	}
+	return b.Base
+}
+
+// Modulate multiplies a base pattern by Factor during [Start, Start+Len) —
+// sharp bursts superimposed on any underlying pattern.
+type Modulate struct {
+	Base   Pattern
+	Factor float64
+	Start  sim.Time
+	Len    sim.Time
+}
+
+// RPS implements Pattern.
+func (m Modulate) RPS(t sim.Time) float64 {
+	r := m.Base.RPS(t)
+	if t >= m.Start && t < m.Start+m.Len {
+		return r * m.Factor
+	}
+	return r
+}
+
+// Mix is a weighted request-class mix; weights need not sum to 1.
+type Mix map[string]float64
+
+// Normalize returns classes (sorted) and cumulative probabilities.
+func (m Mix) normalize() (classes []string, cum []float64) {
+	for c := range m {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	total := 0.0
+	for _, c := range classes {
+		w := m[c]
+		if w < 0 {
+			panic(fmt.Sprintf("workload: negative weight for class %q", c))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("workload: mix has no positive weights")
+	}
+	acc := 0.0
+	for _, c := range classes {
+		acc += m[c] / total
+		cum = append(cum, acc)
+	}
+	return classes, cum
+}
+
+// Scaled returns a copy of the mix with the given class's weight multiplied
+// by f — how the skewed-load experiments double or halve update frequencies.
+func (m Mix) Scaled(class string, f float64) Mix {
+	out := Mix{}
+	for c, w := range m {
+		out[c] = w
+	}
+	if _, ok := out[class]; ok {
+		out[class] *= f
+	}
+	return out
+}
+
+// Fraction reports the normalized weight of a class.
+func (m Mix) Fraction(class string) float64 {
+	total := 0.0
+	for _, w := range m {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	return m[class] / total
+}
+
+// Generator drives Poisson arrivals of mixed request classes into an app.
+type Generator struct {
+	eng     *sim.Engine
+	app     *services.App
+	pattern Pattern
+	classes []string
+	cum     []float64
+	rng     *rand.Rand
+	stopped bool
+	// Injected counts requests injected per class.
+	Injected map[string]int
+}
+
+// New creates a generator; call Start to begin injecting load.
+func New(eng *sim.Engine, app *services.App, pattern Pattern, mix Mix) *Generator {
+	classes, cum := mix.normalize()
+	return &Generator{
+		eng:      eng,
+		app:      app,
+		pattern:  pattern,
+		classes:  classes,
+		cum:      cum,
+		rng:      eng.RNG("workload/" + app.Spec.Name),
+		Injected: map[string]int{},
+	}
+}
+
+// Start begins the open-loop arrival process.
+func (g *Generator) Start() {
+	g.scheduleNext()
+}
+
+// Stop halts future arrivals (in-flight requests drain normally).
+func (g *Generator) Stop() { g.stopped = true }
+
+// SetPattern swaps the load pattern (takes effect from the next arrival).
+func (g *Generator) SetPattern(p Pattern) { g.pattern = p }
+
+func (g *Generator) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	rate := g.pattern.RPS(g.eng.Now())
+	if rate <= 0 {
+		// Idle: re-check for a live rate once a second.
+		g.eng.Schedule(sim.Second, g.scheduleNext)
+		return
+	}
+	gap := sim.Seconds2Time(g.rng.ExpFloat64() / rate)
+	g.eng.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		class := g.pick()
+		g.Injected[class]++
+		g.app.Inject(class)
+		g.scheduleNext()
+	})
+}
+
+func (g *Generator) pick() string {
+	u := g.rng.Float64()
+	for i, c := range g.cum {
+		if u <= c {
+			return g.classes[i]
+		}
+	}
+	return g.classes[len(g.classes)-1]
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+)
+
+func testApp(eng *sim.Engine) *services.App {
+	return services.MustNewApp(eng, services.AppSpec{
+		Name: "wl-test",
+		Services: []services.ServiceSpec{{
+			Name: "api", Threads: 64, CPUs: 8, InitialReplicas: 4,
+			Handlers: map[string][]services.Step{
+				"a": services.Seq(services.Compute{MeanMs: 1, CV: -1}),
+				"b": services.Seq(services.Compute{MeanMs: 1, CV: -1}),
+			},
+		}},
+		Classes: []services.ClassSpec{
+			{Name: "a", Entry: "api", SLAPercentile: 99, SLAMillis: 100},
+			{Name: "b", Entry: "api", SLAPercentile: 99, SLAMillis: 100},
+		},
+	})
+}
+
+func TestConstantRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := testApp(eng)
+	g := New(eng, app, Constant{Value: 100}, Mix{"a": 1})
+	g.Start()
+	eng.RunUntil(10 * sim.Minute)
+	got := float64(g.Injected["a"]) / 600
+	if math.Abs(got-100) > 5 {
+		t.Fatalf("constant rate = %.1f RPS, want ≈100", got)
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	eng := sim.NewEngine(2)
+	app := testApp(eng)
+	g := New(eng, app, Constant{Value: 200}, Mix{"a": 3, "b": 1})
+	g.Start()
+	eng.RunUntil(10 * sim.Minute)
+	frac := float64(g.Injected["a"]) / float64(g.Injected["a"]+g.Injected["b"])
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("class-a fraction = %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Base: 50, Peak: 150, Period: 60 * sim.Minute}
+	if got := d.RPS(0); got != 50 {
+		t.Fatalf("RPS(0) = %v", got)
+	}
+	if got := d.RPS(30 * sim.Minute); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("RPS(mid) = %v, want 150", got)
+	}
+	if got := d.RPS(15 * sim.Minute); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("RPS(quarter) = %v, want 100", got)
+	}
+	// Periodic.
+	if got := d.RPS(75 * sim.Minute); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("RPS(1.25 periods) = %v, want 100", got)
+	}
+}
+
+func TestBurstPattern(t *testing.T) {
+	b := Burst{Base: 100, Factor: 2.25, Start: 5 * sim.Minute, Len: 2 * sim.Minute}
+	if b.RPS(0) != 100 || b.RPS(6*sim.Minute) != 225 || b.RPS(8*sim.Minute) != 100 {
+		t.Fatal("burst pattern wrong")
+	}
+}
+
+func TestDiurnalLoadTracksPattern(t *testing.T) {
+	eng := sim.NewEngine(3)
+	app := testApp(eng)
+	g := New(eng, app, Diurnal{Base: 20, Peak: 200, Period: 20 * sim.Minute}, Mix{"a": 1})
+	g.Start()
+	eng.RunUntil(20 * sim.Minute)
+	arr := app.Service("api").ArrivalsAll
+	early := arr.Rate(0, 2*sim.Minute)
+	mid := arr.Rate(9*sim.Minute, 11*sim.Minute)
+	if mid < early*3 {
+		t.Fatalf("diurnal peak not visible: early=%.1f mid=%.1f", early, mid)
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := sim.NewEngine(4)
+	app := testApp(eng)
+	g := New(eng, app, Constant{Value: 100}, Mix{"a": 1})
+	g.Start()
+	eng.RunUntil(time1)
+	g.Stop()
+	n := g.Injected["a"]
+	eng.RunUntil(2 * time1)
+	if g.Injected["a"] != n {
+		t.Fatalf("generator kept injecting after Stop: %d → %d", n, g.Injected["a"])
+	}
+}
+
+const time1 = 1 * sim.Minute
+
+func TestScaledMix(t *testing.T) {
+	m := Mix{"a": 2, "b": 2}
+	s := m.Scaled("a", 2)
+	if s["a"] != 4 || s["b"] != 2 {
+		t.Fatalf("Scaled = %v", s)
+	}
+	if m["a"] != 2 {
+		t.Fatal("Scaled mutated the original mix")
+	}
+	if got := s.Fraction("a"); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("Fraction = %v", got)
+	}
+}
+
+func TestZeroRateIdles(t *testing.T) {
+	eng := sim.NewEngine(5)
+	app := testApp(eng)
+	g := New(eng, app, Constant{Value: 0}, Mix{"a": 1})
+	g.Start()
+	eng.RunUntil(time1)
+	if g.Injected["a"] != 0 {
+		t.Fatal("zero-rate pattern injected requests")
+	}
+}
+
+func TestMixPanicsWithoutWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty mix")
+		}
+	}()
+	Mix{"a": 0}.normalize()
+}
+
+// Property: diurnal RPS stays within [Base, Peak] for all times.
+func TestDiurnalBoundsProperty(t *testing.T) {
+	d := Diurnal{Base: 10, Peak: 90, Period: 33 * sim.Minute}
+	f := func(raw uint32) bool {
+		ts := sim.Time(raw) * sim.Second
+		r := d.RPS(ts)
+		return r >= 10-1e-9 && r <= 90+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
