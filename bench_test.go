@@ -22,6 +22,9 @@ import (
 // benchScale keeps each benchmark iteration in the seconds range.
 const benchScale = 0.25
 
+// benchOpts uses the default worker pool (GOMAXPROCS), so grid benchmarks
+// report the parallel harness's wall clock. Results are identical at any
+// parallelism; see BenchmarkFig11Sequential for the 1-worker baseline.
 func benchOpts() experiments.Options {
 	return experiments.Options{Seed: 1, Scale: benchScale}
 }
@@ -113,6 +116,20 @@ func BenchmarkFig11SLAViolations(b *testing.B) {
 		}
 		if c, ok := r.Cell("social-network", "dynamic", "sinan"); ok {
 			b.ReportMetric(c.ViolationRate*100, "sinan_dynamic_viol_pct")
+		}
+	}
+}
+
+// BenchmarkFig11Sequential runs the same grid with Parallelism: 1 — the
+// sequential baseline for the worker pool's speedup (the rendered tables are
+// byte-identical; only wall clock differs).
+func BenchmarkFig11Sequential(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunComparison(opts, []string{"social-network"}, nil)
+		if c, ok := r.Cell("social-network", "dynamic", "ursa"); ok {
+			b.ReportMetric(c.ViolationRate*100, "ursa_dynamic_viol_pct")
 		}
 	}
 }

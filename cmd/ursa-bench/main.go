@@ -9,6 +9,11 @@
 // Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
 // tab6, fig14, all. Scale < 1 shortens deployments and ML sample counts
 // proportionally; shapes are preserved.
+//
+// Independent simulation cells run concurrently on a bounded worker pool
+// (-parallel, default GOMAXPROCS); results are merged in a canonical order,
+// so any parallelism level writes byte-identical tables. -parallel 1 forces
+// fully sequential execution.
 package main
 
 import (
@@ -28,13 +33,14 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "results", "output directory")
-		apps    = flag.String("apps", "", "comma-separated app filter for fig11/fig12")
-		systems = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
+		apps     = flag.String("apps", "", "comma-separated app filter for fig11/fig12")
+		systems  = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
@@ -50,18 +56,16 @@ func main() {
 		sysFilter = strings.Split(*systems, ",")
 	}
 
+	type job struct {
+		name string
+		fn   func() string
+	}
+	var jobs []job
 	run := func(name string, fn func() string) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		fmt.Fprintf(os.Stderr, "== %s ==\n", name)
-		text := fn()
-		path := filepath.Join(*out, name+".txt")
-		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Print(text)
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		jobs = append(jobs, job{name, fn})
 	}
 
 	run("fig2", func() string { return experiments.RunBackpressure(opts).Render() })
@@ -85,6 +89,24 @@ func main() {
 	run("tab6", func() string { return experiments.RunControlPlane(opts).Render() })
 	run("fig14", func() string { return experiments.RunAdaptation(opts).Render() })
 	run("ablation", func() string { return experiments.RunAblation(opts).Render() })
+
+	// Experiments themselves are independent jobs: fan them over the same
+	// bounded pool (single-deployment studies like fig13 then overlap with
+	// the grids), but buffer their tables and emit everything in the
+	// canonical order above, so output is identical at any parallelism.
+	texts := make([]string, len(jobs))
+	experiments.ForEach(opts, len(jobs), func(i int) {
+		fmt.Fprintf(os.Stderr, "== %s ==\n", jobs[i].name)
+		texts[i] = jobs[i].fn()
+	})
+	for i, j := range jobs {
+		path := filepath.Join(*out, j.name+".txt")
+		if err := os.WriteFile(path, []byte(texts[i]), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Print(texts[i])
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ func main() {
 		rpsMult  = flag.Float64("rps", 1.0, "multiplier on the app's nominal RPS")
 		seed     = flag.Int64("seed", 1, "random seed")
 		scale    = flag.Float64("scale", 0.5, "training/exploration scale for managers that need it")
+		parallel = flag.Int("parallel", 0, "worker pool size for harness-level preparation (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		specFile = flag.String("spec", "", "load a custom application spec from a JSON file (overrides -app; rate via -basirps)")
 		baseRPS  = flag.Float64("basirps", 100, "nominal RPS for a -spec application")
@@ -66,7 +67,7 @@ func main() {
 	}
 	c.TotalRPS *= *rpsMult
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
@@ -133,8 +134,10 @@ func main() {
 			continue
 		}
 		lat := rec.PercentileBetween(warm, warm+dur, cs.SLAPercentile)
+		// Whole windows only: a trailing partial window would skew the
+		// violation denominator (same rule as the experiment harness).
 		tw, vw := 0, 0
-		for w := warm; w < warm+dur; w += sim.Minute {
+		for w := warm; w+sim.Minute <= warm+dur; w += sim.Minute {
 			vals := rec.Between(w, w+sim.Minute)
 			if len(vals) == 0 {
 				continue

@@ -110,6 +110,32 @@ func New(spec services.AppSpec, svcNames []string, rpsNorm float64, cfg Config) 
 	return f
 }
 
+// Clone returns a copy of the (pre-)trained system with pristine runtime
+// state: agents and replay buffers are deep-copied (Firm keeps training
+// online during deployment), each with a deterministically reseeded RNG.
+// Clones are identical, so one pretrained prototype can fan out over many
+// deployments — concurrently or not — without leaking warm RL state
+// between runs.
+func (f *Firm) Clone() *Firm {
+	c := &Firm{
+		cfg:        f.cfg,
+		spec:       f.spec,
+		svcNames:   f.svcNames,
+		agents:     make(map[string]*rl.Agent, len(f.agents)),
+		replays:    make(map[string]*rl.Replay, len(f.replays)),
+		rpsNorm:    f.rpsNorm,
+		explore:    f.explore,
+		prevState:  map[string][]float64{},
+		prevAction: map[string]float64{},
+	}
+	for i, name := range f.svcNames {
+		rng := rand.New(rand.NewSource(f.cfg.Seed + int64(i)))
+		c.agents[name] = f.agents[name].Clone(rng)
+		c.replays[name] = f.replays[name].Clone()
+	}
+	return c
+}
+
 // SetExplore toggles exploration noise (off for evaluation).
 func (f *Firm) SetExplore(on bool) { f.explore = on }
 

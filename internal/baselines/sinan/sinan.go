@@ -182,6 +182,24 @@ func Train(spec services.AppSpec, svcNames []string, rpsNorm float64, samples []
 	return s
 }
 
+// Clone returns a copy of the trained system with pristine runtime state,
+// ready to attach to another application instance (possibly on another
+// goroutine). The CNN is deep-copied because Forward caches activations;
+// the GBT is shared, as prediction is a read-only tree walk. Clones are
+// identical, so deployments fanned over clones are deterministic.
+func (s *Sinan) Clone() *Sinan {
+	return &Sinan{
+		cfg:      s.cfg,
+		spec:     s.spec,
+		svcNames: s.svcNames,
+		classes:  s.classes,
+		latNet:   s.latNet.Clone(),
+		violGBT:  s.violGBT,
+		rpsNorm:  s.rpsNorm,
+		rng:      rand.New(rand.NewSource(s.cfg.Seed)),
+	}
+}
+
 // Name implements baselines.Manager.
 func (s *Sinan) Name() string { return "sinan" }
 

@@ -77,6 +77,45 @@ type Profile struct {
 	ExploreTime sim.Time
 }
 
+// Clone returns a deep copy of the point: mutating the copy's maps or
+// sample slices cannot affect the original.
+func (p *LPRPoint) Clone() LPRPoint {
+	q := *p
+	q.LPR = make(map[string]float64, len(p.LPR))
+	for k, v := range p.LPR {
+		q.LPR[k] = v
+	}
+	q.RateSamples = make(map[string][]float64, len(p.RateSamples))
+	for k, v := range p.RateSamples {
+		q.RateSamples[k] = append([]float64(nil), v...)
+	}
+	q.Latency = make(map[string][]float64, len(p.Latency))
+	for k, v := range p.Latency {
+		q.Latency[k] = append([]float64(nil), v...)
+	}
+	return q
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	q.Points = make([]LPRPoint, len(p.Points))
+	for i := range p.Points {
+		q.Points[i] = p.Points[i].Clone()
+	}
+	return &q
+}
+
+// CloneProfiles deep-copies an exploration output map so concurrent or
+// successive deployments cannot pollute each other through shared points.
+func CloneProfiles(profiles map[string]*Profile) map[string]*Profile {
+	out := make(map[string]*Profile, len(profiles))
+	for k, v := range profiles {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
 // SortPoints orders Points by ascending maximum LPR.
 func (p *Profile) SortPoints() {
 	sort.Slice(p.Points, func(i, j int) bool {

@@ -7,7 +7,6 @@ import (
 	"ursa/internal/core"
 	"ursa/internal/services"
 	"ursa/internal/sim"
-	"ursa/internal/stats"
 	"ursa/internal/workload"
 )
 
@@ -59,21 +58,9 @@ func RunAblation(opts Options) AblationResult {
 		res.EqualSplitCPUs = sol.TotalCPUs
 	}
 
-	// 2. Controller t-test under load that hovers at a replica boundary:
-	// the offered rate sits right where ceil(load/threshold) flips, so a
-	// controller that acts on raw window estimates flaps while the t-test
-	// absorbs the noise.
-	opts.logf("ablation: controller t-test")
-	res.TTestActions, res.TTestViolation, res.TTestAvgCPUs = runBoundaryController(opts, false)
-	res.NoTTestActions, res.NoTTestViolation, res.NoTTestAvgCPUs = runBoundaryController(opts, true)
-
-	// 3. Backpressure threshold on/off during exploration.
-	opts.logf("ablation: backpressure-free exploration boundary")
-	exOff := &core.Explorer{Spec: c.Spec, Mix: c.Mix, TotalRPS: c.TotalRPS, Thresholds: map[string]float64{}}
-	for _, s := range c.Spec.Services {
-		exOff.Thresholds[s.Name] = 1.0 // explore all the way to saturation
-	}
-	profOff, _, err := exOff.ExploreAll(opts.exploreConfig())
+	// 2 + 3 run four independent deployments (t-test on/off, exploration
+	// threshold on/off); fan them over the worker pool. Each task writes its
+	// own result fields, so the merge is deterministic.
 	runDeploy := func(p map[string]*core.Profile) (float64, float64) {
 		eng := sim.NewEngine(opts.Seed + 81)
 		app, err := services.NewApp(eng, c.Spec)
@@ -95,10 +82,37 @@ func RunAblation(opts Options) AblationResult {
 		mgr.Stop()
 		return violationRate(app, c.Spec, warm, warm+dur), (a1 - a0) / dur.Seconds()
 	}
-	res.ThresholdOnViolation, res.ThresholdOnCPUs = runDeploy(profiles)
-	if err == nil {
-		res.ThresholdOffViolation, res.ThresholdOffCPUs = runDeploy(profOff)
+	tasks := []func(){
+		// 2. Controller t-test under load that hovers at a replica boundary:
+		// the offered rate sits right where ceil(load/threshold) flips, so a
+		// controller that acts on raw window estimates flaps while the
+		// t-test absorbs the noise.
+		func() {
+			opts.logf("ablation: controller with t-test")
+			res.TTestActions, res.TTestViolation, res.TTestAvgCPUs = runBoundaryController(opts, false)
+		},
+		func() {
+			opts.logf("ablation: controller without t-test")
+			res.NoTTestActions, res.NoTTestViolation, res.NoTTestAvgCPUs = runBoundaryController(opts, true)
+		},
+		// 3. Backpressure threshold on/off during exploration.
+		func() {
+			opts.logf("ablation: deployment with backpressure-free boundary")
+			res.ThresholdOnViolation, res.ThresholdOnCPUs = runDeploy(profiles)
+		},
+		func() {
+			opts.logf("ablation: exploring to saturation (threshold off)")
+			exOff := &core.Explorer{Spec: c.Spec, Mix: c.Mix, TotalRPS: c.TotalRPS, Thresholds: map[string]float64{}}
+			for _, s := range c.Spec.Services {
+				exOff.Thresholds[s.Name] = 1.0 // explore all the way to saturation
+			}
+			profOff, _, err := exOff.ExploreAll(opts.exploreConfig())
+			if err == nil {
+				res.ThresholdOffViolation, res.ThresholdOffCPUs = runDeploy(profOff)
+			}
+		},
 	}
+	opts.forEach(len(tasks), func(i int) { tasks[i]() })
 	return res
 }
 
@@ -155,31 +169,6 @@ func runBoundaryController(opts Options, disableTTest bool) (actions int, violat
 	violation = violationRate(app, spec, warm, warm+dur)
 	cpus = (a1 - a0) / dur.Seconds()
 	return actions, violation, cpus
-}
-
-// violationRate computes the per-(class,window) violation fraction.
-func violationRate(app *services.App, spec services.AppSpec, from, to sim.Time) float64 {
-	total, violated := 0, 0
-	for _, cs := range spec.Classes {
-		rec := app.E2E.Class(cs.Name)
-		if rec == nil {
-			continue
-		}
-		for w := from; w < to; w += sim.Minute {
-			vals := rec.Between(w, w+sim.Minute)
-			if len(vals) == 0 {
-				continue
-			}
-			total++
-			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
-				violated++
-			}
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(violated) / float64(total)
 }
 
 // Render prints the three ablation tables.

@@ -27,12 +27,15 @@ type BackpressureResult struct {
 	Minutes int
 }
 
-// RunBackpressure executes the §III case study.
+// RunBackpressure executes the §III case study. The three chain types are
+// independent simulations and run concurrently up to Options.Parallelism.
 func RunBackpressure(opts Options) BackpressureResult {
 	opts.defaults()
 	const minutes = 10
-	res := BackpressureResult{Grid: map[string][][]float64{}, Minutes: minutes}
-	for _, mode := range []services.CallMode{services.NestedRPC, services.EventRPC, services.MQ} {
+	modes := []services.CallMode{services.NestedRPC, services.EventRPC, services.MQ}
+	grids := make([][][]float64, len(modes))
+	opts.forEach(len(modes), func(i int) {
+		mode := modes[i]
 		opts.logf("fig2: running %v chain", mode)
 		eng := sim.NewEngine(opts.Seed)
 		app := services.MustNewApp(eng, topology.BackpressureChain(mode))
@@ -48,7 +51,11 @@ func RunBackpressure(opts Options) BackpressureResult {
 			svc := app.Service(topology.ChainTier(tier))
 			grid[tier-1] = svc.RespTime.PerWindowPercentile(minutes*sim.Minute, 99)
 		}
-		res.Grid[mode.String()] = grid
+		grids[i] = grid
+	})
+	res := BackpressureResult{Grid: map[string][][]float64{}, Minutes: minutes}
+	for i, mode := range modes {
+		res.Grid[mode.String()] = grids[i]
 	}
 	return res
 }

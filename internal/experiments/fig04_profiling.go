@@ -24,18 +24,24 @@ func RunProfiling(opts Options) ProfilingResult {
 	ex := &core.Explorer{Spec: spec, Mix: topology.SocialNetworkMix(), TotalRPS: 100}
 	loads := ex.ServiceClassLoads()
 
-	res := ProfilingResult{Services: map[string]core.BackpressureResult{}}
-	for _, name := range []string{"post-storage", "user-timeline"} {
+	names := []string{"post-storage", "user-timeline"}
+	sweeps := make([]core.BackpressureResult, len(names))
+	opts.forEach(len(names), func(i int) {
+		name := names[i]
 		opts.logf("fig4: profiling %s", name)
 		ss := spec.ServiceSpecByName(name)
 		// Aggregate (fan-in) load, rescaled so the sweep spans saturation
 		// at low limits through convergence at high ones.
 		perReplica := core.ScaleProfilingLoad(*ss, loads[name], 0.85)
-		res.Services[name] = core.ProfileBackpressureThreshold(*ss, perReplica, core.ProfilerConfig{
+		sweeps[i] = core.ProfileBackpressureThreshold(*ss, perReplica, core.ProfilerConfig{
 			Seed:           opts.Seed,
 			WindowsPerStep: opts.scaleInt(8, 4),
 			Window:         15 * sim.Second,
 		})
+	})
+	res := ProfilingResult{Services: map[string]core.BackpressureResult{}}
+	for i, name := range names {
+		res.Services[name] = sweeps[i]
 	}
 	return res
 }

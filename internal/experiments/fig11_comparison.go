@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"ursa/internal/baselines"
 	"ursa/internal/sim"
 	"ursa/internal/topology"
 	"ursa/internal/workload"
@@ -68,64 +67,57 @@ func loadScenarios(c AppCase, dur sim.Time) []loadScenario {
 	return scenarios
 }
 
-// managersFor prepares every system for a case (exploration / training runs
-// happen here, once per app).
-func (o *Options) managersFor(c AppCase) map[string]baselines.Manager {
-	o.logf("fig11: preparing ursa for %s", c.Name)
-	mgrs := map[string]baselines.Manager{}
-	mgrs["ursa"] = o.newUrsa(c)
-	o.logf("fig11: preparing sinan for %s", c.Name)
-	mgrs["sinan"] = o.newSinan(c)
-	o.logf("fig11: preparing firm for %s", c.Name)
-	mgrs["firm"] = o.newFirm(c)
-	mgrs["auto-a"] = autoscaleA()
-	mgrs["auto-b"] = autoscaleB()
-	return mgrs
+// comparisonCellJob is one (app, scenario, system) deployment of the grid.
+type comparisonCellJob struct {
+	c      AppCase
+	scen   loadScenario
+	system string
 }
 
-// RunComparison executes the Fig. 11/12 grid. Apps and systems may be
-// filtered (nil means all).
-func RunComparison(opts Options, appFilter, systemFilter []string) ComparisonResult {
-	opts.defaults()
-	dur := opts.scaleTime(30*sim.Minute, 8*sim.Minute)
-	var res ComparisonResult
+// comparisonJobs enumerates the filtered grid in its canonical order.
+func comparisonJobs(dur sim.Time, appFilter, systemFilter []string) []comparisonCellJob {
+	var jobs []comparisonCellJob
 	for _, c := range AppCases() {
 		if appFilter != nil && !contains(appFilter, c.Name) {
 			continue
 		}
-		mgrs := opts.managersFor(c)
 		for _, scen := range loadScenarios(c, dur) {
 			for _, system := range Systems() {
 				if systemFilter != nil && !contains(systemFilter, system) {
 					continue
 				}
-				mgr := mgrs[system]
-				if system == "ursa" {
-					// Fresh manager state per deployment run.
-					mgr = opts.newUrsaFromCache(c, mgrs["ursa"].(*ursaAdapter))
-				}
-				opts.logf("fig11: %s / %s / %s", c.Name, scen.name, system)
-				r := opts.runDeployment(c, mgr, scen.pattern, scen.mix, dur)
-				res.Cells = append(res.Cells, ComparisonCell{
-					App: c.Name, Load: scen.name, System: system,
-					ViolationRate: r.ViolationRate,
-					AvgCPUs:       r.AvgCPUs,
-					DecisionMs:    r.DecisionMs,
-				})
+				jobs = append(jobs, comparisonCellJob{c: c, scen: scen, system: system})
 			}
 		}
 	}
-	return res
+	return jobs
 }
 
-// newUrsaFromCache reuses exploration profiles across deployment runs (the
-// paper explores once per app, then deploys under each load).
-func (o *Options) newUrsaFromCache(c AppCase, prev *ursaAdapter) baselines.Manager {
-	return &ursaAdapter{
-		mgr:      prev.mgr.CloneFresh(),
-		mix:      c.Mix,
-		totalRPS: c.TotalRPS,
-	}
+// RunComparison executes the Fig. 11/12 grid. Apps and systems may be
+// filtered (nil means all). Every cell gets a fresh manager — reusing one
+// across scenarios would make baseline results depend on scenario order and
+// carry warm RL/autoscaler state between runs — and cells run concurrently
+// up to Options.Parallelism, merged back in canonical grid order. Expensive
+// preparation (exploration, ML training) happens lazily, so filtered-out
+// systems are never trained.
+func RunComparison(opts Options, appFilter, systemFilter []string) ComparisonResult {
+	opts.defaults()
+	dur := opts.scaleTime(30*sim.Minute, 8*sim.Minute)
+	jobs := comparisonJobs(dur, appFilter, systemFilter)
+	cells := make([]ComparisonCell, len(jobs))
+	opts.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		mgr := opts.newManagerFor(j.c, j.system)
+		opts.logf("fig11: %s / %s / %s", j.c.Name, j.scen.name, j.system)
+		r := opts.runDeployment(j.c, mgr, j.scen.pattern, j.scen.mix, dur)
+		cells[i] = ComparisonCell{
+			App: j.c.Name, Load: j.scen.name, System: j.system,
+			ViolationRate: r.ViolationRate,
+			AvgCPUs:       r.AvgCPUs,
+			DecisionMs:    r.DecisionMs,
+		}
+	})
+	return ComparisonResult{Cells: cells}
 }
 
 func contains(xs []string, v string) bool {

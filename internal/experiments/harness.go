@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"ursa/internal/baselines"
 	"ursa/internal/baselines/autoscale"
@@ -34,8 +35,14 @@ type Options struct {
 	// Scale shrinks run durations and ML sample counts (1.0 = paper-like
 	// proportions, 0.2 = quick smoke run).
 	Scale float64
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are serialized, so
+	// any io.Writer is safe even under parallel execution.
 	Log io.Writer
+	// Parallelism bounds the worker pool that fans independent simulation
+	// cells across goroutines: 0 (the default) means GOMAXPROCS, 1 forces
+	// sequential execution. Results are merged in a canonical order, so any
+	// setting produces byte-identical rendered output.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -47,10 +54,17 @@ func (o *Options) defaults() {
 	}
 }
 
+// logMu serializes progress lines so concurrent cells never interleave
+// partial writes on a shared writer.
+var logMu sync.Mutex
+
 func (o *Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+	if o.Log == nil {
+		return
 	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(o.Log, format+"\n", args...)
 }
 
 // scaleInt scales a count, with a floor.
@@ -115,25 +129,38 @@ func (o *Options) exploreConfig() core.ExploreConfig {
 
 // profileCache memoises exploration output per (app, seed, scale): the
 // experiments share one exploration per application, exactly as the paper
-// explores once and reuses the profiles across every deployment run.
-var profileCache = map[string]profileCacheEntry{}
+// explores once and reuses the profiles across every deployment run. Entries
+// carry a sync.Once, so concurrent cells asking for the same app block on a
+// single exploration (singleflight) instead of duplicating it.
+var (
+	profileMu    sync.Mutex
+	profileCache = map[string]*profileCacheEntry{}
+)
 
 type profileCacheEntry struct {
+	once     sync.Once
 	ex       *core.Explorer
 	profiles map[string]*core.Profile
 	sum      core.ExplorationSummary
 }
 
 // ursaProfiles runs backpressure profiling + LPR exploration for an app and
-// returns the explorer, profiles and Table V accounting.
+// returns the explorer, profiles and Table V accounting. The profiles map is
+// a deep copy: deployments mutate profile points in place (e.g. by sorting),
+// and handing out the cached map by reference would let one run pollute
+// every later cache hit. The explorer is shared and must be treated as
+// read-only after exploration.
 func (o *Options) ursaProfiles(c AppCase) (*core.Explorer, map[string]*core.Profile, core.ExplorationSummary) {
 	key := fmt.Sprintf("%s/%d/%.3f", c.Name, o.Seed, o.Scale)
-	if e, ok := profileCache[key]; ok {
-		return e.ex, e.profiles, e.sum
+	profileMu.Lock()
+	e := profileCache[key]
+	if e == nil {
+		e = &profileCacheEntry{}
+		profileCache[key] = e
 	}
-	ex, profiles, sum := o.ursaProfilesUncached(c)
-	profileCache[key] = profileCacheEntry{ex: ex, profiles: profiles, sum: sum}
-	return ex, profiles, sum
+	profileMu.Unlock()
+	e.once.Do(func() { e.ex, e.profiles, e.sum = o.ursaProfilesUncached(c) })
+	return e.ex, core.CloneProfiles(e.profiles), e.sum
 }
 
 func (o *Options) ursaProfilesUncached(c AppCase) (*core.Explorer, map[string]*core.Profile, core.ExplorationSummary) {
@@ -210,29 +237,66 @@ func (o *Options) newUrsa(c AppCase) *ursaAdapter {
 	return &ursaAdapter{mgr: mgr, mix: c.Mix, totalRPS: c.TotalRPS}
 }
 
-// newSinan collects data and trains Sinan for a case.
+// newSinan hands out a fresh clone of the trained Sinan prototype for a
+// case, collecting data and training it on first use (singleflight).
 func (o *Options) newSinan(c AppCase) *sinan.Sinan {
-	res := sinan.Collect(c.Spec, c.Mix, c.TotalRPS, sinan.CollectConfig{
-		Samples: o.scaleInt(1000, 150),
-		Window:  exploreWindow,
-		Seed:    o.Seed,
-	})
-	return sinan.Train(c.Spec, res.SvcNames, res.RPSNorm, res.Samples, sinan.Config{
-		Seed:   o.Seed,
-		Epochs: o.scaleInt(60, 20),
-	})
+	key := fmt.Sprintf("sinan/%s/%d/%.3f", c.Name, o.Seed, o.Scale)
+	proto := protoFor(key, func() any {
+		o.logf("prep: collecting + training sinan for %s", c.Name)
+		res := sinan.Collect(c.Spec, c.Mix, c.TotalRPS, sinan.CollectConfig{
+			Samples: o.scaleInt(1000, 150),
+			Window:  exploreWindow,
+			Seed:    o.Seed,
+		})
+		return sinan.Train(c.Spec, res.SvcNames, res.RPSNorm, res.Samples, sinan.Config{
+			Seed:   o.Seed,
+			Epochs: o.scaleInt(60, 20),
+		})
+	}).(*sinan.Sinan)
+	return proto.Clone()
 }
 
-// newFirm pretrains Firm for a case.
+// newFirm hands out a fresh clone of the pretrained Firm prototype for a
+// case, pretraining it on first use (singleflight). Cloning (rather than
+// reusing one instance) matters doubly for Firm: it keeps training online
+// during deployment, so a shared instance would both race under parallel
+// cells and carry warm RL state from one run into the next.
 func (o *Options) newFirm(c AppCase) *firm.Firm {
-	f := firm.New(c.Spec, specServiceNames(c.Spec), c.TotalRPS*2, firm.Config{Seed: o.Seed})
-	firm.Pretrain(f, c.Mix, c.TotalRPS, firm.PretrainConfig{
-		Samples: o.scaleInt(1000, 150),
-		Window:  exploreWindow,
-		Seed:    o.Seed,
-	})
-	f.SetExplore(false)
-	return f
+	key := fmt.Sprintf("firm/%s/%d/%.3f", c.Name, o.Seed, o.Scale)
+	proto := protoFor(key, func() any {
+		o.logf("prep: pretraining firm for %s", c.Name)
+		f := firm.New(c.Spec, specServiceNames(c.Spec), c.TotalRPS*2, firm.Config{Seed: o.Seed})
+		firm.Pretrain(f, c.Mix, c.TotalRPS, firm.PretrainConfig{
+			Samples: o.scaleInt(1000, 150),
+			Window:  exploreWindow,
+			Seed:    o.Seed,
+		})
+		f.SetExplore(false)
+		return f
+	}).(*firm.Firm)
+	return proto.Clone()
+}
+
+// newManagerFor constructs a fresh, never-before-attached manager for one
+// deployment cell. Expensive preparation (exploration, ML training) is
+// cached per app and deduplicated; the returned manager is always pristine,
+// so cells can run in any order — or concurrently — with identical results.
+// Because construction is lazy, systems excluded by a filter are never
+// prepared at all.
+func (o *Options) newManagerFor(c AppCase, system string) baselines.Manager {
+	switch system {
+	case "ursa":
+		return o.newUrsa(c)
+	case "sinan":
+		return o.newSinan(c)
+	case "firm":
+		return o.newFirm(c)
+	case "auto-a":
+		return autoscaleA()
+	case "auto-b":
+		return autoscaleB()
+	}
+	panic(fmt.Sprintf("experiments: unknown system %q", system))
 }
 
 // UrsaProfiles exposes the exploration pipeline (profiling + Algorithm 1)
@@ -300,14 +364,26 @@ func (o *Options) runDeployment(c AppCase, mgr baselines.Manager, pattern worklo
 	allocEnd := app.AllocIntegralCPUSeconds()
 	mgr.Detach()
 
-	// Violation rate: fraction of (class, window) pairs violating.
+	return deployResult{
+		ViolationRate: violationRate(app, c.Spec, warm, warm+dur),
+		AvgCPUs:       (allocEnd - allocStart) / dur.Seconds(),
+		DecisionMs:    mgr.AvgDecisionMillis(),
+	}
+}
+
+// violationRate computes the per-(class, window) violation fraction over
+// whole one-minute windows. A trailing partial window (when the scaled
+// duration is not minute-aligned) is dropped rather than counted: its
+// percentile rests on a fraction of a window's samples, which would skew the
+// denominator at small Scale.
+func violationRate(app *services.App, spec services.AppSpec, from, to sim.Time) float64 {
 	total, violated := 0, 0
-	for _, cs := range c.Spec.Classes {
+	for _, cs := range spec.Classes {
 		rec := app.E2E.Class(cs.Name)
 		if rec == nil {
 			continue
 		}
-		for w := warm; w < warm+dur; w += sim.Minute {
+		for w := from; w+sim.Minute <= to; w += sim.Minute {
 			vals := rec.Between(w, w+sim.Minute)
 			if len(vals) == 0 {
 				continue
@@ -318,12 +394,8 @@ func (o *Options) runDeployment(c AppCase, mgr baselines.Manager, pattern worklo
 			}
 		}
 	}
-	res := deployResult{
-		AvgCPUs:    (allocEnd - allocStart) / dur.Seconds(),
-		DecisionMs: mgr.AvgDecisionMillis(),
+	if total == 0 {
+		return 0
 	}
-	if total > 0 {
-		res.ViolationRate = float64(violated) / float64(total)
-	}
-	return res
+	return float64(violated) / float64(total)
 }

@@ -36,59 +36,70 @@ type ExplorationResult struct {
 func RunExploration(opts Options) ExplorationResult {
 	opts.defaults()
 	mlTarget := 10000
-	res := ExplorationResult{MLTargetSamples: mlTarget}
+	var apps []AppCase
 	for _, c := range AppCases() {
 		if c.Name == "vanilla-social-network" {
 			continue // Table V covers the three primary apps
 		}
-		opts.logf("tab5: exploring %s with Ursa", c.Name)
-		_, profiles, sum := opts.ursaProfiles(c)
-
-		// ML collection: run a scaled number of windows to exercise the
-		// real collection code, then account at the paper's 10k × 1 min.
-		opts.logf("tab5: collecting ML samples for %s", c.Name)
-		collected := sinan.Collect(c.Spec, c.Mix, c.TotalRPS, sinan.CollectConfig{
-			Samples: opts.scaleInt(400, 100),
-			Window:  exploreWindow,
-			Seed:    opts.Seed,
-		})
-		_ = collected
-		f := firm.New(c.Spec, specServiceNames(c.Spec), c.TotalRPS*2, firm.Config{Seed: opts.Seed})
-		firm.Pretrain(f, c.Mix, c.TotalRPS, firm.PretrainConfig{
-			Samples: opts.scaleInt(200, 60),
-			Window:  exploreWindow,
-			Seed:    opts.Seed,
-		})
-
-		// Per the paper, Ursa's exploration time is the longest single
-		// service's profiling time (services explore in parallel), with
-		// each sample costing one minute.
-		perServiceMax := 0
-		for _, p := range profiles {
-			if p.Samples > perServiceMax {
-				perServiceMax = p.Samples
-			}
-		}
-		ursaHours := (sim.Time(perServiceMax) * sim.Minute).Hours()
-
-		mlHours := (sim.Time(mlTarget) * sim.Minute).Hours()
-		row := ExplorationRow{
-			App:          c.Name,
-			UrsaSamples:  sum.Samples,
-			UrsaHours:    ursaHours,
-			MLSamples:    mlTarget,
-			MLHours:      mlHours,
-			UrsaSimHours: sum.TotalTime.Hours(),
-		}
-		if row.UrsaSamples > 0 {
-			row.SampleRatio = float64(row.MLSamples) / float64(row.UrsaSamples)
-		}
-		if row.UrsaHours > 0 {
-			row.TimeRatio = row.MLHours / row.UrsaHours
-		}
-		res.Rows = append(res.Rows, row)
+		apps = append(apps, c)
 	}
-	return res
+	// Each app's row (exploration + ML collection + pretraining) is
+	// independent: fan the rows over the worker pool and keep table order.
+	rows := make([]ExplorationRow, len(apps))
+	opts.forEach(len(apps), func(i int) {
+		rows[i] = opts.explorationRow(apps[i], mlTarget)
+	})
+	return ExplorationResult{Rows: rows, MLTargetSamples: mlTarget}
+}
+
+// explorationRow measures one application's Table V entry.
+func (o *Options) explorationRow(c AppCase, mlTarget int) ExplorationRow {
+	o.logf("tab5: exploring %s with Ursa", c.Name)
+	_, profiles, sum := o.ursaProfiles(c)
+
+	// ML collection: run a scaled number of windows to exercise the
+	// real collection code, then account at the paper's 10k × 1 min.
+	o.logf("tab5: collecting ML samples for %s", c.Name)
+	collected := sinan.Collect(c.Spec, c.Mix, c.TotalRPS, sinan.CollectConfig{
+		Samples: o.scaleInt(400, 100),
+		Window:  exploreWindow,
+		Seed:    o.Seed,
+	})
+	_ = collected
+	f := firm.New(c.Spec, specServiceNames(c.Spec), c.TotalRPS*2, firm.Config{Seed: o.Seed})
+	firm.Pretrain(f, c.Mix, c.TotalRPS, firm.PretrainConfig{
+		Samples: o.scaleInt(200, 60),
+		Window:  exploreWindow,
+		Seed:    o.Seed,
+	})
+
+	// Per the paper, Ursa's exploration time is the longest single
+	// service's profiling time (services explore in parallel), with
+	// each sample costing one minute.
+	perServiceMax := 0
+	for _, p := range profiles {
+		if p.Samples > perServiceMax {
+			perServiceMax = p.Samples
+		}
+	}
+	ursaHours := (sim.Time(perServiceMax) * sim.Minute).Hours()
+
+	mlHours := (sim.Time(mlTarget) * sim.Minute).Hours()
+	row := ExplorationRow{
+		App:          c.Name,
+		UrsaSamples:  sum.Samples,
+		UrsaHours:    ursaHours,
+		MLSamples:    mlTarget,
+		MLHours:      mlHours,
+		UrsaSimHours: sum.TotalTime.Hours(),
+	}
+	if row.UrsaSamples > 0 {
+		row.SampleRatio = float64(row.MLSamples) / float64(row.UrsaSamples)
+	}
+	if row.UrsaHours > 0 {
+		row.TimeRatio = row.MLHours / row.UrsaHours
+	}
+	return row
 }
 
 // Render prints Table V.

@@ -26,6 +26,11 @@ type ControlPlaneResult struct {
 
 // RunControlPlane measures decision and update latencies on the social
 // network. All systems run the same deployment; latencies are wall-clock.
+// Unlike the other grids, the measurement loop deliberately stays sequential
+// regardless of Options.Parallelism: Table VI reports wall-clock latency,
+// and running the systems concurrently would distort it through CPU
+// contention. Manager preparation still reuses the shared trained-prototype
+// caches, so nothing is retrained here.
 func RunControlPlane(opts Options) ControlPlaneResult {
 	opts.defaults()
 	c, _ := AppCaseByName("social-network")

@@ -21,6 +21,9 @@ type Layer interface {
 	Backward(gradOut *tensor.Matrix) *tensor.Matrix
 	// Params returns parameter/gradient pairs for the optimizer.
 	Params() []Param
+	// Clone returns a deep copy of the layer's parameters with pristine
+	// gradient/activation state, so the copy can run on another goroutine.
+	Clone() Layer
 }
 
 // Param couples a parameter tensor with its gradient accumulator.
@@ -65,6 +68,16 @@ func (d *Dense) Params() []Param {
 	return []Param{{d.W, d.gw}, {d.B, d.gb}}
 }
 
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		W:  d.W.Clone(),
+		B:  d.B.Clone(),
+		gw: tensor.New(d.gw.Rows, d.gw.Cols),
+		gb: tensor.New(d.gb.Rows, d.gb.Cols),
+	}
+}
+
 // ReLU is max(0, x).
 type ReLU struct{ mask []bool }
 
@@ -96,6 +109,9 @@ func (r *ReLU) Backward(g *tensor.Matrix) *tensor.Matrix {
 // Params implements Layer.
 func (r *ReLU) Params() []Param { return nil }
 
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
 // Tanh activation.
 type Tanh struct{ lastOut *tensor.Matrix }
 
@@ -122,6 +138,9 @@ func (t *Tanh) Backward(g *tensor.Matrix) *tensor.Matrix {
 // Params implements Layer.
 func (t *Tanh) Params() []Param { return nil }
 
+// Clone implements Layer.
+func (t *Tanh) Clone() Layer { return &Tanh{} }
+
 // Sigmoid activation.
 type Sigmoid struct{ lastOut *tensor.Matrix }
 
@@ -147,6 +166,9 @@ func (s *Sigmoid) Backward(g *tensor.Matrix) *tensor.Matrix {
 
 // Params implements Layer.
 func (s *Sigmoid) Params() []Param { return nil }
+
+// Clone implements Layer.
+func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
 
 // Conv1D applies `Filters` kernels of width `Kernel` over an input laid out
 // as Channels×Width per example (row-major: channel-major). Stride 1, no
@@ -241,6 +263,17 @@ func (c *Conv1D) Params() []Param {
 	return []Param{{c.W, c.gw}, {c.B, c.gb}}
 }
 
+// Clone implements Layer.
+func (c *Conv1D) Clone() Layer {
+	return &Conv1D{
+		Channels: c.Channels, Width: c.Width, Kernel: c.Kernel, Filters: c.Filters,
+		W:  c.W.Clone(),
+		B:  c.B.Clone(),
+		gw: tensor.New(c.gw.Rows, c.gw.Cols),
+		gb: tensor.New(c.gb.Rows, c.gb.Cols),
+	}
+}
+
 // Network is a layer stack.
 type Network struct {
 	Layers []Layer
@@ -266,6 +299,17 @@ func (n *Network) Params() []Param {
 	var out []Param
 	for _, l := range n.Layers {
 		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the network: identical weights, fresh
+// gradient and activation buffers. Forward caches inputs per layer, so a
+// network must never be shared across goroutines — clone it instead.
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		out.Layers[i] = l.Clone()
 	}
 	return out
 }
@@ -323,6 +367,28 @@ func NewAdam(lr float64) *Adam {
 		m: map[*tensor.Matrix]*tensor.Matrix{},
 		v: map[*tensor.Matrix]*tensor.Matrix{},
 	}
+}
+
+// CloneFor deep-copies the optimizer state for a cloned parameter set:
+// oldParams and newParams must align index-wise (as returned by Params on
+// the original and cloned network). Moment estimates keyed by the old
+// tensors are re-keyed onto the new ones, so the clone resumes training
+// exactly where the original stood.
+func (a *Adam) CloneFor(oldParams, newParams []Param) *Adam {
+	c := NewAdam(a.LR)
+	c.Beta1, c.Beta2, c.Eps, c.t = a.Beta1, a.Beta2, a.Eps, a.t
+	for i := range oldParams {
+		if i >= len(newParams) {
+			break
+		}
+		if m, ok := a.m[oldParams[i].W]; ok {
+			c.m[newParams[i].W] = m.Clone()
+		}
+		if v, ok := a.v[oldParams[i].W]; ok {
+			c.v[newParams[i].W] = v.Clone()
+		}
+	}
+	return c
 }
 
 // Step applies one update to all params and zeroes their gradients.

@@ -49,6 +49,12 @@ func (r *Replay) Len() int {
 	return r.next
 }
 
+// Clone copies the buffer. Transitions are copied by value; their state
+// slices are immutable after Add, so sharing them is safe across goroutines.
+func (r *Replay) Clone() *Replay {
+	return &Replay{buf: append([]Transition(nil), r.buf...), next: r.next, full: r.full}
+}
+
 // Sample draws n transitions with replacement.
 func (r *Replay) Sample(n int, rng *rand.Rand) []Transition {
 	m := r.Len()
@@ -106,6 +112,24 @@ func NewAgent(stateDim, hidden int, rng *rand.Rand) *Agent {
 	copyParams(a.actorTgt, a.actor)
 	copyParams(a.criticT, a.critic)
 	return a
+}
+
+// Clone deep-copies the agent — networks, target networks and optimizer
+// moments — handing the copy its own RNG. Clones of one agent are
+// identical, so fanning deployments over clones is deterministic.
+func (a *Agent) Clone(rng *rand.Rand) *Agent {
+	c := &Agent{
+		StateDim: a.StateDim,
+		actor:    a.actor.Clone(), critic: a.critic.Clone(),
+		actorTgt: a.actorTgt.Clone(), criticT: a.criticT.Clone(),
+		rng:   rng,
+		Gamma: a.Gamma, Tau: a.Tau, Noise: a.Noise,
+
+		UpdateCount: a.UpdateCount,
+	}
+	c.optA = a.optA.CloneFor(a.actor.Params(), c.actor.Params())
+	c.optC = a.optC.CloneFor(a.critic.Params(), c.critic.Params())
+	return c
 }
 
 func copyParams(dst, src *nn.Network) {

@@ -18,7 +18,11 @@ type App struct {
 	Spec AppSpec
 
 	services map[string]*Service
-	window   sim.Time
+	// ordered holds services in spec order. Aggregations iterate this, not
+	// the map: float sums depend on addition order, and randomized map
+	// iteration would make totals differ by an ulp from run to run.
+	ordered []*Service
+	window  sim.Time
 
 	// Cluster, when non-nil, gates replica placement on real node
 	// capacity. UnschedulableEvents counts placements that failed.
@@ -73,7 +77,9 @@ func newApp(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster)
 		E2E:      metrics.NewLatencyRecorder(window),
 	}
 	for _, ss := range spec.Services {
-		a.services[ss.Name] = newService(a, ss)
+		s := newService(a, ss)
+		a.services[ss.Name] = s
+		a.ordered = append(a.ordered, s)
 	}
 	a.sampler = eng.Every(a.window, a.sampleMetrics)
 	return a, nil
@@ -158,7 +164,7 @@ func (a *App) injectAt(svc *Service, class string) *Job {
 // sampleMetrics stores one utilisation sample per service per window.
 func (a *App) sampleMetrics() {
 	now := a.Eng.Now()
-	for _, s := range a.services {
+	for _, s := range a.ordered {
 		s.UtilSamples.Add(now-1, s.sampleUtilization())
 	}
 }
@@ -169,7 +175,7 @@ func (a *App) StopSampling() { a.sampler.Stop() }
 // TotalAllocatedCPUs sums currently allocated CPUs over all services.
 func (a *App) TotalAllocatedCPUs() float64 {
 	t := 0.0
-	for _, s := range a.services {
+	for _, s := range a.ordered {
 		t += s.AllocatedCPUs()
 	}
 	return t
@@ -181,7 +187,7 @@ func (a *App) TotalAllocatedCPUs() float64 {
 func (a *App) AllocIntegralCPUSeconds() float64 {
 	now := a.Eng.Now()
 	t := 0.0
-	for _, s := range a.services {
+	for _, s := range a.ordered {
 		t += s.AllocGauge.IntegralUntil(now)
 	}
 	return t
