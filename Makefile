@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench bench-core clean
 
 all: check
 
@@ -23,6 +23,16 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-core runs the simulator hot-path microbenchmarks (event core,
+# virtual-time CPU scheduler, windowed metrics queries) and writes a JSON
+# report with ns/op and allocs/op per benchmark. Diff BENCH_simcore.json to
+# spot perf regressions in the hot path.
+bench-core:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCPUSched|BenchmarkWindowed' \
+		-benchmem ./internal/sim ./internal/services ./internal/metrics \
+		| $(GO) run ./cmd/benchjson > BENCH_simcore.json
+	@echo wrote BENCH_simcore.json
 
 clean:
 	$(GO) clean ./...

@@ -29,10 +29,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|ablation|all")
-		scale   = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "results", "output directory")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|ablation|all")
+		scale    = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "results", "output directory")
 		apps     = flag.String("apps", "", "comma-separated app filter for fig11/fig12")
 		systems  = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = sequential)")

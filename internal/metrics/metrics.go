@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 
 	"ursa/internal/sim"
@@ -54,36 +55,61 @@ func (w *Windowed) WindowAt(i int) (sim.Time, []float64) {
 	return w.start[i], w.samples[i]
 }
 
-// Between returns all samples in windows with start in [from, to).
+// windowRange binary-searches the ascending start slice and returns the
+// half-open index range of windows whose start lies in [from, to).
+func (w *Windowed) windowRange(from, to sim.Time) (lo, hi int) {
+	lo = sort.Search(len(w.start), func(i int) bool { return w.start[i] >= from })
+	hi = lo + sort.Search(len(w.start)-lo, func(i int) bool { return w.start[lo+i] >= to })
+	return lo, hi
+}
+
+// Between returns all samples in windows with start in [from, to). The
+// returned slice is freshly allocated; callers may keep and mutate it.
 func (w *Windowed) Between(from, to sim.Time) []float64 {
-	var out []float64
-	for i, s := range w.start {
-		if s >= from && s < to {
-			out = append(out, w.samples[i]...)
-		}
+	lo, hi := w.windowRange(from, to)
+	n := 0
+	for i := lo; i < hi; i++ {
+		n += len(w.samples[i])
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := lo; i < hi; i++ {
+		out = append(out, w.samples[i]...)
 	}
 	return out
 }
 
 // All returns every recorded sample.
 func (w *Windowed) All() []float64 {
-	return w.Between(0, sim.Time(int64(^uint64(0)>>2)))
+	return w.Between(0, sim.Time(math.MaxInt64))
 }
 
 // Count reports the number of samples in [from, to).
 func (w *Windowed) Count(from, to sim.Time) int {
+	lo, hi := w.windowRange(from, to)
 	n := 0
-	for i, s := range w.start {
-		if s >= from && s < to {
-			n += len(w.samples[i])
-		}
+	for i := lo; i < hi; i++ {
+		n += len(w.samples[i])
 	}
 	return n
 }
 
-// PercentileBetween computes the p-th percentile over [from, to).
+// PercentileBetween computes the p-th percentile over [from, to). It gathers
+// the samples into a pooled scratch buffer and selects in place, so the
+// query allocates nothing in steady state.
 func (w *Windowed) PercentileBetween(from, to sim.Time, p float64) float64 {
-	return stats.Percentile(w.Between(from, to), p)
+	lo, hi := w.windowRange(from, to)
+	scratch := stats.GetScratch()
+	buf := *scratch
+	for i := lo; i < hi; i++ {
+		buf = append(buf, w.samples[i]...)
+	}
+	v := stats.PercentileInPlace(buf, p)
+	*scratch = buf[:0]
+	stats.PutScratch(scratch)
+	return v
 }
 
 // PerWindowPercentile returns, for each aligned window of the run
@@ -186,11 +212,10 @@ func (c *CounterSeries) Inc(t sim.Time, n float64) {
 
 // Total reports the number of events in [from, to).
 func (c *CounterSeries) Total(from, to sim.Time) float64 {
+	lo := sort.Search(len(c.start), func(i int) bool { return c.start[i] >= from })
 	s := 0.0
-	for i, w := range c.start {
-		if w >= from && w < to {
-			s += c.counts[i]
-		}
+	for i := lo; i < len(c.start) && c.start[i] < to; i++ {
+		s += c.counts[i]
 	}
 	return s
 }

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+// benchWindowed builds a collector with many windows, the shape long grid
+// runs accumulate (one window per minute, dozens of samples each).
+func benchWindowed(windows, perWindow int) *Windowed {
+	w := NewWindowed(sim.Minute)
+	for i := 0; i < windows; i++ {
+		t := sim.Time(i) * sim.Minute
+		for j := 0; j < perWindow; j++ {
+			w.Add(t+sim.Time(j), float64((i*perWindow+j)%997))
+		}
+	}
+	return w
+}
+
+// BenchmarkWindowedPercentile measures the per-window SLA check the
+// experiment harness runs every simulated minute: binary-searched window
+// lookup plus in-place quickselect over a pooled scratch buffer.
+func BenchmarkWindowedPercentile(b *testing.B) {
+	w := benchWindowed(480, 64)
+	from := 200 * sim.Minute
+	to := from + 30*sim.Minute
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.PercentileBetween(from, to, 99)
+	}
+}
+
+// BenchmarkWindowedCount measures the windowed sample count used by
+// violation-rate accounting.
+func BenchmarkWindowedCount(b *testing.B) {
+	w := benchWindowed(480, 64)
+	from := 200 * sim.Minute
+	to := from + 30*sim.Minute
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Count(from, to)
+	}
+}

@@ -168,6 +168,49 @@ func TestGaugeIntegralProperty(t *testing.T) {
 	}
 }
 
+// TestWindowedEdgeBoundaries pins the half-open [from, to) window semantics
+// when samples land exactly on window edges: a sample at t belongs to the
+// window starting at t, Between(from, to) includes the window starting at
+// `from` and excludes the one starting at `to`, and All() (now an unbounded
+// Between) still sees everything — including windows far beyond any fixed
+// horizon constant.
+func TestWindowedEdgeBoundaries(t *testing.T) {
+	w := NewWindowed(sim.Minute)
+	// One sample exactly on each of the first six window edges…
+	for i := 0; i < 6; i++ {
+		w.Add(sim.Time(i)*sim.Minute, float64(i))
+	}
+	// …and one far beyond the old 1000-hour horizon constant.
+	far := 5000 * sim.Hour
+	w.Add(far, 99)
+
+	if got := w.Between(2*sim.Minute, 5*sim.Minute); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("edge Between = %v, want [2 3 4]", got)
+	}
+	// from == to is empty, and a window starting exactly at `to` is excluded.
+	if got := w.Between(3*sim.Minute, 3*sim.Minute); got != nil {
+		t.Fatalf("empty-range Between = %v, want nil", got)
+	}
+	if n := w.Count(0, far); n != 6 {
+		t.Fatalf("Count excluding window at `to` = %d, want 6", n)
+	}
+	if got := w.All(); len(got) != 7 || got[6] != 99 {
+		t.Fatalf("All = %v, want all 7 samples incl. the far one", got)
+	}
+
+	// Trim at an exact window edge keeps the window starting at the cutoff.
+	w.Trim(3 * sim.Minute)
+	if s, v := w.WindowAt(0); s != 3*sim.Minute || len(v) != 1 || v[0] != 3 {
+		t.Fatalf("after Trim(3m): first window start=%v v=%v", s, v)
+	}
+	if got := w.Between(0, far+sim.Minute); len(got) != 4 || got[0] != 3 || got[3] != 99 {
+		t.Fatalf("Between after Trim = %v, want [3 4 5 99]", got)
+	}
+	if got := w.PercentileBetween(3*sim.Minute, 6*sim.Minute, 100); got != 5 {
+		t.Fatalf("PercentileBetween after Trim = %v, want 5", got)
+	}
+}
+
 // Property: Windowed never loses samples — Count over everything equals the
 // number of Adds.
 func TestWindowedConservationProperty(t *testing.T) {

@@ -7,10 +7,15 @@ import (
 	"ursa/internal/sim"
 )
 
-// burst is one CPU burst executing on a processor-sharing scheduler.
+// burst is one CPU burst executing on the processor-sharing scheduler. Under
+// virtual-time scheduling a burst is tagged once, on arrival, with its
+// virtual finish time; it is never touched again until it completes.
 type burst struct {
-	remaining float64 // core-seconds of work left
-	done      func()
+	tag  float64 // virtual finish time: vArr + work (heap key)
+	vArr float64 // virtual clock reading when the burst arrived
+	work float64 // core-seconds requested at arrival
+	seq  uint64  // arrival order: FIFO tie-break and completion-callback order
+	done func()
 }
 
 // cpuSched is an egalitarian processor-sharing CPU with a configurable core
@@ -19,12 +24,32 @@ type burst struct {
 // more threads are runnable than cores, everyone slows down proportionally.
 // This is how CFS-quota throttling and CPU interference manifest in the
 // simulation.
+//
+// The implementation is virtual-time processor sharing: a virtual clock vnow
+// advances at the per-burst rate (rate() virtual seconds per real second), so
+// a burst arriving with w core-seconds of work finishes when vnow reaches
+// vArr+w. Bursts sit in a min-heap keyed by that finish tag, making arrival,
+// completion and SetCores O(log n) in the number of active bursts — the old
+// implementation rescanned every burst on every event, O(n²) per busy
+// period. The virtual clock is rebased to zero whenever the scheduler goes
+// idle, which keeps float magnitudes small (sums stay within one busy
+// period) and preserves the nanosecond-exact completion times of the
+// reference egalitarian scanner (see TestCPUSchedMatchesReference).
 type cpuSched struct {
-	eng    *sim.Engine
-	cores  float64
-	active []*burst
-	last   sim.Time
-	next   *sim.Event
+	eng   *sim.Engine
+	cores float64
+	heap  []burst // min-heap by (tag, seq)
+	vnow  float64 // virtual clock: per-burst service received this busy period
+	seq   uint64
+	last  sim.Time
+	next  sim.Event
+
+	// completeFn is the bound onCompletion callback, created once: taking the
+	// method value inline in replan would allocate a fresh closure per event.
+	completeFn func()
+
+	// doneBuf collects completing bursts per event, reused across events.
+	doneBuf []burst
 
 	// busy integrates min(active, cores): actual core-seconds consumed.
 	busy *metrics.Gauge
@@ -37,18 +62,20 @@ func newCPUSched(eng *sim.Engine, cores float64) *cpuSched {
 	if cores <= 0 {
 		panic("services: CPU scheduler needs cores > 0")
 	}
-	return &cpuSched{
+	c := &cpuSched{
 		eng:      eng,
 		cores:    cores,
 		last:     eng.Now(),
 		busy:     metrics.NewGauge(eng.Now(), 0),
 		capacity: metrics.NewGauge(eng.Now(), cores),
 	}
+	c.completeFn = c.onCompletion
+	return c
 }
 
 // rate is the per-burst execution rate in cores.
 func (c *cpuSched) rate() float64 {
-	n := float64(len(c.active))
+	n := float64(len(c.heap))
 	if n == 0 {
 		return 0
 	}
@@ -64,65 +91,84 @@ func (c *cpuSched) rate() float64 {
 // ~1e-10 core-seconds and respawn zero-delay completion events forever.
 const workEps = 1e-9
 
-// advance applies elapsed progress to all active bursts.
+// advance moves the virtual clock forward by the elapsed real time times the
+// current per-burst rate. This is the whole per-event cost of progressing
+// every active burst: each burst's remaining work is implicitly
+// work - (vnow - vArr), so one float add updates all of them.
 func (c *cpuSched) advance() {
 	now := c.eng.Now()
-	elapsed := (now - c.last).Seconds()
-	if elapsed > 0 {
-		r := c.rate()
-		for _, b := range c.active {
-			b.remaining -= elapsed * r
-			if b.remaining < workEps {
-				b.remaining = 0
-			}
-		}
+	if elapsed := (now - c.last).Seconds(); elapsed > 0 {
+		d := elapsed * c.rate()
+		c.vnow += d
 	}
 	c.last = now
 }
 
+// remaining reports a burst's outstanding work in core-seconds, mirroring
+// the reference scanner's clamping: a burst that has made virtual progress
+// and dropped below workEps counts as exactly zero (the scanner zeroed such
+// residues on every advance), while a burst with no virtual progress since
+// arrival still holds its exact submitted work, however small.
+func (c *cpuSched) remaining(b *burst) float64 {
+	if c.vnow == b.vArr {
+		return b.work
+	}
+	rem := b.work - (c.vnow - b.vArr)
+	if rem < workEps {
+		return 0
+	}
+	return rem
+}
+
 // replan records the new busy level and schedules the next completion.
 func (c *cpuSched) replan() {
-	n := float64(len(c.active))
+	n := float64(len(c.heap))
 	used := n
 	if used > c.cores {
 		used = c.cores
 	}
 	c.busy.Set(c.eng.Now(), used)
-	if c.next != nil {
-		c.next.Cancel()
-		c.next = nil
-	}
-	if len(c.active) == 0 {
+	c.next.Cancel()
+	c.next = sim.Event{}
+	if len(c.heap) == 0 {
+		// Idle: rebase the virtual clock so float magnitudes never grow
+		// beyond one busy period. No live tags reference the old origin.
+		c.vnow = 0
 		return
 	}
-	min := c.active[0].remaining
-	for _, b := range c.active[1:] {
-		if b.remaining < min {
-			min = b.remaining
-		}
-	}
+	min := c.remaining(&c.heap[0])
 	// Round the delay up to a whole nanosecond so the completion event
 	// never fires fractionally early (which would leave sub-eps residues).
 	delay := sim.Time(math.Ceil(min / c.rate() * 1e9))
-	c.next = c.eng.Schedule(delay, c.onCompletion)
+	c.next = c.eng.Schedule(delay, c.completeFn)
 }
 
 // onCompletion fires when the earliest burst(s) finish.
 func (c *cpuSched) onCompletion() {
-	c.next = nil
+	c.next = sim.Event{}
 	c.advance()
-	var doneFns []func()
-	kept := c.active[:0]
-	for _, b := range c.active {
-		if b.remaining <= workEps {
-			doneFns = append(doneFns, b.done)
-		} else {
-			kept = append(kept, b)
+	c.doneBuf = c.doneBuf[:0]
+	for len(c.heap) > 0 {
+		top := &c.heap[0]
+		if top.work-(c.vnow-top.vArr) > workEps {
+			break
+		}
+		c.doneBuf = append(c.doneBuf, *top)
+		c.popBurst()
+	}
+	// Completion callbacks fire in arrival order, matching the reference
+	// scanner's submission-order sweep. Heap pops arrive in (tag, seq)
+	// order; an insertion sort on seq restores arrival order without
+	// allocating (completion batches are nearly always tiny).
+	for i := 1; i < len(c.doneBuf); i++ {
+		for j := i; j > 0 && c.doneBuf[j].seq < c.doneBuf[j-1].seq; j-- {
+			c.doneBuf[j], c.doneBuf[j-1] = c.doneBuf[j-1], c.doneBuf[j]
 		}
 	}
-	c.active = kept
 	c.replan()
-	for _, fn := range doneFns {
+	for i := range c.doneBuf {
+		fn := c.doneBuf[i].done
+		c.doneBuf[i].done = nil // release the closure promptly
 		fn()
 	}
 }
@@ -137,7 +183,14 @@ func (c *cpuSched) Run(seconds float64, done func()) {
 		return
 	}
 	c.advance()
-	c.active = append(c.active, &burst{remaining: seconds, done: done})
+	c.seq++
+	c.pushBurst(burst{
+		tag:  c.vnow + seconds,
+		vArr: c.vnow,
+		work: seconds,
+		seq:  c.seq,
+		done: done,
+	})
 	c.replan()
 }
 
@@ -160,4 +213,51 @@ func (c *cpuSched) Cores() float64 { return c.cores }
 func (c *cpuSched) snapshot() (busy, capacity float64) {
 	now := c.eng.Now()
 	return c.busy.IntegralUntil(now), c.capacity.IntegralUntil(now)
+}
+
+// burstLess orders the completion heap by virtual finish tag, FIFO among
+// equal tags (equal-work bursts arriving at the same instant).
+func burstLess(a, b *burst) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return a.seq < b.seq
+}
+
+func (c *cpuSched) pushBurst(b burst) {
+	c.heap = append(c.heap, b)
+	i := len(c.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !burstLess(&c.heap[i], &c.heap[p]) {
+			break
+		}
+		c.heap[i], c.heap[p] = c.heap[p], c.heap[i]
+		i = p
+	}
+}
+
+func (c *cpuSched) popBurst() {
+	n := len(c.heap) - 1
+	c.heap[0] = c.heap[n]
+	c.heap[n] = burst{} // drop the done closure reference
+	c.heap = c.heap[:n]
+	if n > 1 {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < n && burstLess(&c.heap[l], &c.heap[best]) {
+				best = l
+			}
+			if r < n && burstLess(&c.heap[r], &c.heap[best]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			c.heap[i], c.heap[best] = c.heap[best], c.heap[i]
+			i = best
+		}
+	}
 }

@@ -1,0 +1,44 @@
+package services
+
+import (
+	"fmt"
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+// BenchmarkCPUSched measures one arrival→completion cycle of a short burst
+// while `active` long-running bursts share the processor. The virtual-time
+// scheduler costs O(log n) per event here; the pre-rewrite egalitarian
+// rescanner advanced all n bursts on every event, so its per-cycle cost grew
+// linearly with the active-burst count.
+func BenchmarkCPUSched(b *testing.B) {
+	for _, active := range []int{8, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("active=%d", active), func(b *testing.B) {
+			eng := sim.NewEngine(1)
+			c := newCPUSched(eng, 4)
+			noop := func() {}
+			// Long-running background load that stays active throughout
+			// (1e5 core-seconds each: effectively forever next to the
+			// microsecond probe bursts, yet small enough that the scheduled
+			// completion delay stays well inside the int64-nanosecond range).
+			for i := 0; i < active; i++ {
+				c.Run(1e5, noop)
+			}
+			completed := 0
+			done := func() { completed++ }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Run(1e-6, done)
+				for want := i + 1; completed < want; {
+					eng.Step()
+				}
+			}
+			b.StopTimer()
+			if completed != b.N {
+				b.Fatalf("completed %d of %d bursts", completed, b.N)
+			}
+		})
+	}
+}

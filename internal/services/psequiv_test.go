@@ -1,0 +1,304 @@
+package services
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ursa/internal/metrics"
+	"ursa/internal/sim"
+)
+
+// refSched is the egalitarian processor-sharing reference: the pre-rewrite
+// O(n)-rescan structure (flat slice of active bursts, linear min-scan on
+// every arrival/completion/SetCores) carried over the shared virtual-clock
+// arithmetic. It has no heap, no finish tags and no lazy deletion, so it
+// cross-checks everything the production scheduler's data structures could
+// get wrong: heap ordering, completion batching, FIFO callback order,
+// sub-eps clamping, idle rebasing, and the busy/capacity gauge trajectory.
+//
+// Both implementations deliberately share the virtual-clock float
+// arithmetic (one global clock advanced by elapsed*rate per event, burst
+// remaining = work - (vnow - vArr)). The original scanner instead
+// subtracted elapsed*rate from every burst individually; that rounds
+// differently at the last ulp, and reproducing its exact rounding sequence
+// requires touching every burst on every event — the O(n²) behaviour this
+// rewrite removes. Sharing the arithmetic is what makes completion times
+// *identical* (not merely close) between the two implementations; see
+// DESIGN.md "Virtual-time processor sharing".
+type refBurst struct {
+	vArr float64
+	work float64
+	done func()
+}
+
+type refSched struct {
+	eng    *sim.Engine
+	cores  float64
+	active []*refBurst
+	vnow   float64
+	last   sim.Time
+	next   sim.Event
+	hasEv  bool
+
+	busy     *metrics.Gauge
+	capacity *metrics.Gauge
+}
+
+func newRefSched(eng *sim.Engine, cores float64) *refSched {
+	return &refSched{
+		eng:      eng,
+		cores:    cores,
+		last:     eng.Now(),
+		busy:     metrics.NewGauge(eng.Now(), 0),
+		capacity: metrics.NewGauge(eng.Now(), cores),
+	}
+}
+
+func (c *refSched) rate() float64 {
+	n := float64(len(c.active))
+	if n == 0 {
+		return 0
+	}
+	if n <= c.cores {
+		return 1
+	}
+	return c.cores / n
+}
+
+func (c *refSched) advance() {
+	now := c.eng.Now()
+	if elapsed := (now - c.last).Seconds(); elapsed > 0 {
+		d := elapsed * c.rate()
+		c.vnow += d
+	}
+	c.last = now
+}
+
+func (c *refSched) remaining(b *refBurst) float64 {
+	if c.vnow == b.vArr {
+		return b.work
+	}
+	rem := b.work - (c.vnow - b.vArr)
+	if rem < workEps {
+		return 0
+	}
+	return rem
+}
+
+func (c *refSched) replan() {
+	n := float64(len(c.active))
+	used := n
+	if used > c.cores {
+		used = c.cores
+	}
+	c.busy.Set(c.eng.Now(), used)
+	if c.hasEv {
+		c.next.Cancel()
+		c.hasEv = false
+	}
+	if len(c.active) == 0 {
+		c.vnow = 0
+		return
+	}
+	min := c.remaining(c.active[0])
+	for _, b := range c.active[1:] {
+		if r := c.remaining(b); r < min {
+			min = r
+		}
+	}
+	delay := sim.Time(math.Ceil(min / c.rate() * 1e9))
+	c.next = c.eng.Schedule(delay, c.onCompletion)
+	c.hasEv = true
+}
+
+func (c *refSched) onCompletion() {
+	c.hasEv = false
+	c.advance()
+	var doneFns []func()
+	kept := c.active[:0]
+	for _, b := range c.active {
+		if b.work-(c.vnow-b.vArr) <= workEps {
+			doneFns = append(doneFns, b.done)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	c.active = kept
+	c.replan()
+	for _, fn := range doneFns {
+		fn()
+	}
+}
+
+func (c *refSched) Run(seconds float64, done func()) {
+	if seconds <= 0 {
+		c.eng.Schedule(0, done)
+		return
+	}
+	c.advance()
+	c.active = append(c.active, &refBurst{vArr: c.vnow, work: seconds, done: done})
+	c.replan()
+}
+
+func (c *refSched) SetCores(cores float64) {
+	c.advance()
+	c.cores = cores
+	c.capacity.Set(c.eng.Now(), cores)
+	c.replan()
+}
+
+// psAction is one scripted scheduler stimulus.
+type psAction struct {
+	at    sim.Time
+	work  float64 // > 0: submit a burst; 0: SetCores
+	cores float64
+}
+
+// randomSchedule builds a reproducible stimulus script mixing bursty
+// arrivals, idle gaps (so both schedulers pass through empty periods and
+// rebase), nice decimal work sizes, heavy-tailed work sizes, sub-nanosecond
+// slivers, and mid-flight CPU-limit changes.
+func randomSchedule(rng *rand.Rand, n int) []psAction {
+	var acts []psAction
+	t := sim.Time(0)
+	nice := []float64{0.1, 0.25, 0.5, 1, 0.001, 0.02}
+	coreChoices := []float64{0.25, 0.5, 1, 2, 3, 4.5}
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			// Long idle gap: drains the schedulers between busy periods.
+			t += sim.Time(rng.Intn(5)+1) * sim.Second
+		} else {
+			t += sim.Time(rng.ExpFloat64() * 20 * float64(sim.Millisecond))
+		}
+		switch k := rng.Intn(12); {
+		case k == 0:
+			acts = append(acts, psAction{at: t, cores: coreChoices[rng.Intn(len(coreChoices))]})
+		case k == 1:
+			acts = append(acts, psAction{at: t, work: nice[rng.Intn(len(nice))]})
+		case k == 2:
+			acts = append(acts, psAction{at: t, work: rng.Float64() * 3e-9}) // sub-eps sliver
+		default:
+			acts = append(acts, psAction{at: t, work: rng.ExpFloat64() * 0.05})
+		}
+	}
+	return acts
+}
+
+// psLike is the scheduler surface the property test drives.
+type psLike interface {
+	Run(float64, func())
+	SetCores(float64)
+}
+
+// runPS drives a scheduler through the script and returns the completion
+// time of every submitted burst in submission order.
+func runPS(acts []psAction, horizon sim.Time, mk func(*sim.Engine) psLike) (completions []sim.Time) {
+	eng := sim.NewEngine(1)
+	s := mk(eng)
+	for _, a := range acts {
+		a := a
+		eng.At(a.at, func() {
+			if a.work > 0 {
+				idx := len(completions)
+				completions = append(completions, -1)
+				s.Run(a.work, func() { completions[idx] = eng.Now() })
+			} else {
+				s.SetCores(a.cores)
+			}
+		})
+	}
+	eng.RunUntil(horizon)
+	eng.Drain(1 << 22)
+	return completions
+}
+
+// TestCPUSchedMatchesReference is the equivalence property test: random
+// burst arrival / SetCores schedules driven through the egalitarian-PS
+// reference rescanner and the virtual-time heap scheduler must produce
+// identical completion times (exact, to the nanosecond) and identical
+// busy/capacity integrals (exact float equality — the gauge updates must
+// happen at the same instants with the same values).
+func TestCPUSchedMatchesReference(t *testing.T) {
+	seeds := 40
+	events := 400
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 100))
+		acts := randomSchedule(rng, events)
+		horizon := acts[len(acts)-1].at + 10*sim.Minute
+
+		var ref *refSched
+		refDone := runPS(acts, horizon, func(e *sim.Engine) psLike {
+			ref = newRefSched(e, 2)
+			return ref
+		})
+		refBusy := ref.busy.IntegralUntil(ref.eng.Now())
+		refCap := ref.capacity.IntegralUntil(ref.eng.Now())
+
+		var vt *cpuSched
+		vtDone := runPS(acts, horizon, func(e *sim.Engine) psLike {
+			vt = newCPUSched(e, 2)
+			return vt
+		})
+		vtBusy, vtCap := vt.snapshot()
+
+		if len(refDone) != len(vtDone) {
+			t.Fatalf("seed %d: %d vs %d submissions", seed, len(refDone), len(vtDone))
+		}
+		for i := range refDone {
+			if refDone[i] != vtDone[i] {
+				t.Fatalf("seed %d: burst %d completed at %v (reference) vs %v (virtual-time), Δ=%dns",
+					seed, i, refDone[i], vtDone[i], int64(vtDone[i]-refDone[i]))
+			}
+			if refDone[i] == -1 {
+				t.Fatalf("seed %d: burst %d never completed before the horizon", seed, i)
+			}
+		}
+		if refBusy != vtBusy {
+			t.Fatalf("seed %d: busy integral %v (reference) vs %v (virtual-time)", seed, refBusy, vtBusy)
+		}
+		if refCap != vtCap {
+			t.Fatalf("seed %d: capacity integral %v vs %v", seed, refCap, vtCap)
+		}
+	}
+}
+
+// TestCPUSchedManyBurstsSameInstant pins the FIFO completion-callback order
+// the virtual-time heap must preserve for equal-work bursts submitted at the
+// same instant (the reference completes them in submission order).
+func TestCPUSchedManyBurstsSameInstant(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	var order []int
+	for i := 0; i < 32; i++ {
+		i := i
+		c.Run(0.01, func() { order = append(order, i) })
+	}
+	eng.Drain(10000)
+	if len(order) != 32 {
+		t.Fatalf("completed %d/32", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order not FIFO at %d: %v", i, order)
+		}
+	}
+}
+
+// TestCPUSchedVirtualClockRebases asserts the virtual clock returns to zero
+// whenever the scheduler drains, so float magnitudes are bounded by one busy
+// period regardless of how long the simulation runs.
+func TestCPUSchedVirtualClockRebases(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := newCPUSched(eng, 1)
+	for i := 0; i < 10; i++ {
+		c.Run(0.5, func() {})
+		eng.Drain(1000)
+		if c.vnow != 0 {
+			t.Fatalf("vnow = %v after drain %d, want 0", c.vnow, i)
+		}
+	}
+}

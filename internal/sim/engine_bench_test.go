@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEngineSchedule measures the schedule→fire round trip of the event
+// core with a warm arena: each iteration schedules one event and steps it.
+// The pooled arena and typed 4-ary heap make this zero-allocation in steady
+// state (the pre-rewrite container/heap design paid one boxed *Event
+// allocation per At).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the arena and heap storage.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Drain(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleDepth measures scheduling against a standing queue
+// of the given depth, the regime grid runs spend most of their time in.
+func BenchmarkEngineScheduleDepth(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			e := NewEngine(1)
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				e.Schedule(Hour+Time(i), fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Schedule(Millisecond, fn)
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule→cancel churn path (timeouts
+// beaten by responses, PS replanning): O(1) lazy deletion plus amortized
+// bulk reaping.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(Second, fn)
+		ev.Cancel()
+	}
+}

@@ -231,3 +231,200 @@ func TestRunUntilProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPendingReportsLiveCount(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1)*Second, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	// Cancel a minority: lazy deletion keeps entries queued, but Pending
+	// must report only live events.
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", e.Pending())
+	}
+	e.Drain(100)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	if e.Fired() != 6 {
+		t.Fatalf("Fired = %d, want 6", e.Fired())
+	}
+}
+
+func TestCompactOnDemand(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 8)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1)*Second, func() {})
+	}
+	for i := 0; i < 3; i++ {
+		evs[i].Cancel()
+	}
+	e.Compact()
+	if len(e.heap) != 5 || e.stale != 0 {
+		t.Fatalf("after Compact: %d entries, %d stale; want 5, 0", len(e.heap), e.stale)
+	}
+	// The surviving events still fire in order.
+	var order []Time
+	for e.Step() {
+		order = append(order, e.Now())
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("events fired out of order after Compact: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestBulkReapOnMajorityCanceled(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 64)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1)*Millisecond, func() {})
+	}
+	// Cancel until canceled entries outnumber live ones: the queue must
+	// compact itself rather than grow garbage.
+	for i := 0; i < 40; i++ {
+		evs[i].Cancel()
+	}
+	// The sweep fires as soon as stale entries hit a majority, so garbage
+	// never exceeds half the queue and at least one compaction happened.
+	if e.stale*2 > len(e.heap) {
+		t.Fatalf("queue holds %d stale of %d entries; bulk reap did not keep up", e.stale, len(e.heap))
+	}
+	if len(e.heap) >= 64 {
+		t.Fatalf("queue never compacted: %d entries", len(e.heap))
+	}
+	if e.Pending() != 24 {
+		t.Fatalf("Pending = %d, want 24", e.Pending())
+	}
+	e.Drain(100)
+	if e.Fired() != 24 {
+		t.Fatalf("Fired = %d, want 24", e.Fired())
+	}
+}
+
+func TestTickerStopDropsArmedEvent(t *testing.T) {
+	e := NewEngine(1)
+	tick := e.Every(Minute, func() {})
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 armed tick", e.Pending())
+	}
+	tick.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0: the armed event must drop immediately", e.Pending())
+	}
+	e.RunUntil(10 * Minute)
+	if e.Fired() != 0 {
+		t.Fatal("stopped ticker still fired")
+	}
+}
+
+func TestStaleHandleIsInert(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	ev := e.Schedule(Second, func() { fired++ })
+	if ev.At() != Second {
+		t.Fatalf("At = %v, want 1s", ev.At())
+	}
+	e.Drain(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The slot is recycled for a new event; the old handle must not be able
+	// to cancel or observe it.
+	ev2 := e.Schedule(Second, func() { fired++ })
+	ev.Cancel()
+	if ev.Canceled() {
+		t.Fatal("stale handle reports Canceled")
+	}
+	e.Drain(10)
+	if fired != 2 {
+		t.Fatalf("stale Cancel killed the recycled event: fired = %d, want 2", fired)
+	}
+	_ = ev2
+}
+
+func TestCancelIsIdempotentAndPostFireSafe(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(Second, func() {})
+	ev.Cancel()
+	ev.Cancel() // double cancel: no double-free of the arena slot
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	// The freed slot is reused exactly once.
+	a := e.Schedule(Second, func() {})
+	b := e.Schedule(2*Second, func() {})
+	e.Drain(10)
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", e.Fired())
+	}
+	a.Cancel() // post-fire cancel: no-op
+	b.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after post-fire cancels", e.Pending())
+	}
+}
+
+func TestZeroEventHandle(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+	if ev.Canceled() || ev.At() != 0 {
+		t.Fatal("zero handle should report nothing")
+	}
+}
+
+// TestHeavyChurnDeterminism exercises the pooled arena under schedule/cancel
+// churn: two identical runs must fire identical event sequences even while
+// slots are recycled and the queue compacts.
+func TestHeavyChurnDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(3)
+		rng := e.RNG("churn")
+		var fired []Time
+		var pendingEvs []Event
+		var tickFn func()
+		n := 0
+		tickFn = func() {
+			n++
+			if n > 400 {
+				return
+			}
+			// Schedule a few, cancel a random subset of earlier ones.
+			for i := 0; i < 4; i++ {
+				d := Time(rng.Intn(1000)+1) * Millisecond
+				ev := e.Schedule(d, func() { fired = append(fired, e.Now()) })
+				pendingEvs = append(pendingEvs, ev)
+			}
+			for len(pendingEvs) > 8 {
+				idx := rng.Intn(len(pendingEvs))
+				pendingEvs[idx].Cancel()
+				pendingEvs = append(pendingEvs[:idx], pendingEvs[idx+1:]...)
+			}
+			e.Schedule(Time(rng.Intn(50)+1)*Millisecond, tickFn)
+		}
+		e.Schedule(0, tickFn)
+		e.Drain(1 << 20)
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -87,6 +87,125 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestPercentileMatchesSortReference cross-checks the quickselect-based
+// Percentile against the obvious sort-then-index implementation on random
+// inputs with duplicates and adversarial shapes.
+func TestPercentileMatchesSortReference(t *testing.T) {
+	sortRef := func(xs []float64, p float64) float64 {
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		return PercentileSorted(cp, p)
+	}
+	rng := rand.New(rand.NewSource(11))
+	shapes := []func(n int) []float64{
+		func(n int) []float64 { // uniform
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64() * 100
+			}
+			return xs
+		},
+		func(n int) []float64 { // heavy duplicates
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5))
+			}
+			return xs
+		},
+		func(n int) []float64 { // sorted ascending (median-of-3 stress)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		func(n int) []float64 { // sorted descending
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		func(n int) []float64 { // all equal
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 7.5
+			}
+			return xs
+		},
+	}
+	ps := []float64{0, 1, 25, 50, 75, 90, 99, 99.9, 100}
+	for si, shape := range shapes {
+		for _, n := range []int{1, 2, 3, 10, 101, 1000} {
+			xs := shape(n)
+			for _, p := range ps {
+				want := sortRef(xs, p)
+				got := Percentile(xs, p)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("shape %d n=%d p=%v: quickselect %v vs sort %v", si, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPercentileNaNHandling pins that quickselect orders NaNs the way
+// sort.Float64s does (NaNs first), so results with NaN samples match the
+// historical sort-based behaviour exactly.
+func TestPercentileNaNHandling(t *testing.T) {
+	xs := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		want := PercentileSorted(cp, p)
+		got := Percentile(xs, p)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("p=%v: quickselect %v vs sort %v", p, got, want)
+		}
+	}
+}
+
+// TestPercentileInPlaceReordersOnly asserts PercentileInPlace permutes its
+// input without changing the multiset of values.
+func TestPercentileInPlaceReordersOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	before := append([]float64(nil), xs...)
+	sort.Float64s(before)
+	PercentileInPlace(xs, 95)
+	after := append([]float64(nil), xs...)
+	sort.Float64s(after)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("value multiset changed at %d: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+// Property: quickselect equals the sort reference on arbitrary finite input.
+func TestPercentileSelectProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsInf(x, 0) {
+				xs = append(xs, x) // NaNs intentionally kept
+			}
+		}
+		p = math.Abs(math.Mod(p, 100))
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		want := PercentileSorted(cp, p)
+		got := Percentile(xs, p)
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	xs := make([]float64, 1000)
 	for i := range xs {
