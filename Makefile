@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core clean
+.PHONY: all build vet test race check bench bench-core bench-decision clean
 
 all: check
 
@@ -33,6 +33,17 @@ bench-core:
 		-benchmem ./internal/sim ./internal/services ./internal/metrics \
 		| $(GO) run ./cmd/benchjson > BENCH_simcore.json
 	@echo wrote BENCH_simcore.json
+
+# bench-decision runs the control-plane decision-path benchmarks: the
+# optimised solver vs the retained reference implementation (the headline
+# Solve/SolveReference ratio), the window estimator and the incremental
+# re-solve fast path. Diff BENCH_decision.json to spot decision-latency
+# regressions.
+bench-decision:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolve|BenchmarkEstimateBound|BenchmarkResolveFastPath' \
+		-benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson > BENCH_decision.json
+	@echo wrote BENCH_decision.json
 
 clean:
 	$(GO) clean ./...

@@ -120,7 +120,11 @@ func (d *Detector) RequestRatioDeviation(service string, from, to sim.Time) floa
 }
 
 func (d *Detector) checkLoad(now, from sim.Time) {
-	for service := range d.sol.Choices {
+	// Visit services in sorted order: Recalculate swaps d.sol mid-loop, so
+	// when two services straddle the deviation threshold in the same tick
+	// the visit order decides what the second one is compared against — map
+	// order here would make whole simulation runs nondeterministic.
+	for _, service := range sortedChoiceNames(d.sol) {
 		dev := d.RequestRatioDeviation(service, from, now)
 		if dev > d.cfg.RatioDeviation {
 			d.Events = append(d.Events, AnomalyEvent{At: now, Kind: "load", Subject: service, Value: dev})

@@ -76,7 +76,10 @@ func (c *Controller) Tick() map[string]int {
 	if from < 0 {
 		from = 0
 	}
-	for name, choice := range c.sol.Choices {
+	// Sorted order: SetReplicas on cluster-bound apps places replicas as it
+	// goes, so visit order must not depend on map iteration.
+	for _, name := range sortedChoiceNames(c.sol) {
+		choice := c.sol.Choices[name]
 		svc := c.app.Service(name)
 		if svc == nil {
 			continue

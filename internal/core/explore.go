@@ -278,6 +278,10 @@ func (e *Explorer) ExploreService(name string, cfg ExploreConfig) (*Profile, err
 	if len(profile.Points) == 0 {
 		return profile, fmt.Errorf("core: exploration of %q recorded no feasible LPR point", name)
 	}
+	// Build the percentile tables now, off the decision path: the first
+	// Solve over this profile reads cached rows instead of sorting sample
+	// sets while the control plane waits.
+	profile.Precompute()
 	return profile, nil
 }
 

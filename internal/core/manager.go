@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"ursa/internal/services"
 	"ursa/internal/sim"
@@ -14,8 +16,8 @@ import (
 // recalculation. Attach it to a running app with Run.
 type Manager struct {
 	Spec       services.AppSpec
-	Profiles   map[string]*Profile
 	Targets    []ClassTarget
+	Profiles   map[string]*Profile
 	Controller *Controller
 	Detector   *Detector
 
@@ -23,6 +25,24 @@ type Manager struct {
 	// the performance model (the "update" path of Table VI).
 	OptimizeCount   int
 	OptimizeSeconds float64
+
+	// ReSolveEpsilon enables the incremental re-solve fast path: when the
+	// profiles are unchanged and every per-(service,class) load moved by
+	// less than this relative fraction since the last full solve, Optimize
+	// re-verifies the incumbent pick in O(terms) and reuses it (with costs
+	// refreshed for the new loads) instead of re-running branch-and-bound.
+	// Latency rows and certified bounds are load-independent, so the reused
+	// incumbent stays feasible; within ε it also stays near-cheapest. 0
+	// (the default) disables the fast path, keeping every Optimize a full
+	// solve — and experiment outputs byte-identical to a build without it.
+	ReSolveEpsilon float64
+	// FastResolveCount counts Optimize calls served by the incremental
+	// path (always ≤ OptimizeCount).
+	FastResolveCount int
+
+	lastSol      *Solution
+	lastLoads    map[string]map[string]float64
+	lastProfiles map[string]*Profile
 
 	app     *services.App
 	tickers []*sim.Ticker
@@ -64,14 +84,140 @@ func (m *Manager) CloneFresh() *Manager {
 }
 
 // Optimize solves the performance model for the given per-service loads and
-// returns the threshold solution, accounting its wall-clock cost.
+// returns the threshold solution, accounting its wall-clock cost. With
+// ReSolveEpsilon set, near-identical re-solves are served by the incremental
+// fast path instead of a full search.
 func (m *Manager) Optimize(loads map[string]map[string]float64) (*Solution, error) {
 	start := nowWall()
+	if sol, ok := m.resolveIncremental(loads); ok {
+		m.FastResolveCount++
+		m.OptimizeCount++
+		m.OptimizeSeconds += nowWall() - start
+		return sol, nil
+	}
 	model := &Model{Profiles: m.Profiles, Targets: m.Targets, Loads: loads}
 	sol, err := model.Solve()
 	m.OptimizeCount++
 	m.OptimizeSeconds += nowWall() - start
+	if err == nil {
+		m.rememberSolve(loads, sol)
+	} else {
+		m.lastSol = nil
+	}
 	return sol, err
+}
+
+// rememberSolve snapshots the inputs and output of a successful full solve
+// for the incremental fast path: the loads (deep-copied — callers reuse
+// their maps), the profile pointers (installing a new *Profile invalidates
+// the incumbent) and the solution itself.
+func (m *Manager) rememberSolve(loads map[string]map[string]float64, sol *Solution) {
+	snap := make(map[string]map[string]float64, len(loads))
+	for svc, classes := range loads {
+		c := make(map[string]float64, len(classes))
+		for class, v := range classes {
+			c[class] = v
+		}
+		snap[svc] = c
+	}
+	ps := make(map[string]*Profile, len(m.Profiles))
+	for name, p := range m.Profiles {
+		ps[name] = p
+	}
+	m.lastSol, m.lastLoads, m.lastProfiles = sol, snap, ps
+}
+
+// resolveIncremental serves Optimize from the previous solution when the
+// model moved less than ReSolveEpsilon: profiles identical (by pointer),
+// the same set of loaded (service, class) pairs, and every load within the
+// relative ε of its value at the last full solve. The incumbent's latency
+// rows, bounds and percentile assignment do not depend on loads, so only
+// feasibility is re-checked (O(targets)) and the per-choice costs are
+// recomputed for the new loads (O(services × classes)) — no search.
+func (m *Manager) resolveIncremental(loads map[string]map[string]float64) (*Solution, bool) {
+	if m.ReSolveEpsilon <= 0 || m.lastSol == nil {
+		return nil, false
+	}
+	if len(m.Profiles) != len(m.lastProfiles) {
+		return nil, false
+	}
+	for name, p := range m.Profiles {
+		if m.lastProfiles[name] != p {
+			return nil, false
+		}
+	}
+	// Identical load support: a class appearing or disappearing changes
+	// which targets are active and which options are admissible, so any
+	// support change forces a full solve.
+	if len(loads) != len(m.lastLoads) {
+		return nil, false
+	}
+	for svc, classes := range loads {
+		old, ok := m.lastLoads[svc]
+		if !ok || len(classes) != len(old) {
+			return nil, false
+		}
+		for class, v := range classes {
+			ov, okc := old[class]
+			if !okc || ov <= 0 || v <= 0 {
+				return nil, false
+			}
+			if math.Abs(v-ov)/ov >= m.ReSolveEpsilon {
+				return nil, false
+			}
+		}
+	}
+	model := &Model{Profiles: m.Profiles, Targets: m.Targets, Loads: loads}
+	// Re-verify the incumbent's certificates against the (load-independent)
+	// targets. Inactive targets have no recorded bound, exactly as a full
+	// solve would drop them.
+	for t, tgt := range m.Targets {
+		bound, ok := m.lastSol.BoundMs[tgt.Name]
+		if !ok {
+			continue
+		}
+		if bound > model.targetMs(t) {
+			return nil, false
+		}
+	}
+	// Rebuild the solution with costs refreshed for the new loads, summing
+	// in sorted service order so TotalCPUs is deterministic.
+	names := make([]string, 0, len(m.lastSol.Choices))
+	for name := range m.lastSol.Choices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := &Solution{
+		Choices:          make(map[string]*Choice, len(names)),
+		PercentileChoice: make(map[string][]float64, len(m.lastSol.PercentileChoice)),
+		BoundMs:          make(map[string]float64, len(m.lastSol.BoundMs)),
+	}
+	for _, name := range names {
+		ch := m.lastSol.Choices[name]
+		p := m.Profiles[name]
+		if ch.PointIndex >= len(p.Points) {
+			return nil, false
+		}
+		cost, ok := model.optionCost(name, &p.Points[ch.PointIndex])
+		if !ok {
+			return nil, false
+		}
+		out.Choices[name] = &Choice{
+			Service:     name,
+			PointIndex:  ch.PointIndex,
+			LPR:         ch.LPR,
+			RateSamples: ch.RateSamples,
+			CostCPUs:    cost,
+		}
+		out.TotalCPUs += cost
+	}
+	for class, percs := range m.lastSol.PercentileChoice {
+		out.PercentileChoice[class] = percs
+	}
+	for class, bound := range m.lastSol.BoundMs {
+		out.BoundMs[class] = bound
+	}
+	return out, true
 }
 
 // LoadsFromMix projects per-service per-class loads from an entry mix and a
@@ -126,8 +272,11 @@ func (m *Manager) Run(app *services.App, mix workload.Mix, totalRPS float64, cct
 		}
 	}
 
-	// Apply initial allocation.
-	for name, choice := range sol.Choices {
+	// Apply initial allocation in sorted service order: on cluster-bound
+	// apps replica placement depends on allocation order, so map order here
+	// would leak into node assignment.
+	for _, name := range sortedChoiceNames(sol) {
+		choice := sol.Choices[name]
 		svc := app.Service(name)
 		if svc == nil {
 			continue
@@ -173,4 +322,22 @@ func (m *Manager) AvgOptimizeMillis() float64 {
 		return 0
 	}
 	return m.OptimizeSeconds / float64(m.OptimizeCount) * 1e3
+}
+
+// AvgDecisionMillis reports the mean wall-clock latency across every
+// control-plane decision the manager made: controller Ticks (via the
+// controller's DecisionCount/DecisionSeconds) together with model solves
+// (deploy-time and detector-triggered, fast-path or full). This is the
+// per-decision number Table VI-style comparisons report for Ursa.
+func (m *Manager) AvgDecisionMillis() float64 {
+	count := m.OptimizeCount
+	seconds := m.OptimizeSeconds
+	if m.Controller != nil {
+		count += m.Controller.DecisionCount
+		seconds += m.Controller.DecisionSeconds
+	}
+	if count == 0 {
+		return 0
+	}
+	return seconds / float64(count) * 1e3
 }

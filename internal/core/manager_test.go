@@ -109,3 +109,99 @@ func TestManagerRecalculateOnSkew(t *testing.T) {
 		t.Fatal("no anomaly events recorded")
 	}
 }
+
+func TestOptimizeIncrementalFastPath(t *testing.T) {
+	mgr := &Manager{
+		Profiles: twoServiceModel(150).Profiles,
+		Targets:  twoServiceModel(150).Targets,
+	}
+	mgr.ReSolveEpsilon = 0.1
+	loads := map[string]map[string]float64{"a": {"req": 100}, "b": {"req": 100}}
+	full, err := mgr.Optimize(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 0 {
+		t.Fatalf("first solve must be full, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+
+	// Loads move by 5% (< ε): fast path, same picks and bounds, refreshed
+	// costs.
+	moved := map[string]map[string]float64{"a": {"req": 105}, "b": {"req": 105}}
+	fast, err := mgr.Optimize(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 1 {
+		t.Fatalf("expected fast-path hit, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+	ref, err := (&Model{Profiles: mgr.Profiles, Targets: mgr.Targets, Loads: moved}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalCPUs != ref.TotalCPUs {
+		t.Fatalf("fast-path TotalCPUs %v != full solve %v", fast.TotalCPUs, ref.TotalCPUs)
+	}
+	for name, ch := range ref.Choices {
+		got := fast.Choices[name]
+		if got == nil || got.PointIndex != ch.PointIndex || got.CostCPUs != ch.CostCPUs {
+			t.Fatalf("fast-path choice %s = %+v, want %+v", name, got, ch)
+		}
+	}
+	if fast.BoundMs["req"] != full.BoundMs["req"] {
+		t.Fatalf("fast path changed the certified bound: %v vs %v", fast.BoundMs["req"], full.BoundMs["req"])
+	}
+
+	// Loads move by 50% (≥ ε): full solve again.
+	big := map[string]map[string]float64{"a": {"req": 150}, "b": {"req": 150}}
+	if _, err := mgr.Optimize(big); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 1 {
+		t.Fatalf("large move must miss the fast path, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+
+	// A changed support set (new loaded class) forces a full solve.
+	if mgr.lastSol == nil {
+		t.Fatal("full solve did not refresh the incumbent")
+	}
+	withGhost := map[string]map[string]float64{"a": {"req": 150, "ghost": 1}, "b": {"req": 150}}
+	if _, err := mgr.Optimize(withGhost); err == nil {
+		// The ghost class has no explored LPR entry, so the model errors —
+		// which is precisely why support changes must not take the fast path.
+		t.Fatal("expected full solve to reject the unexplored class")
+	}
+	if mgr.FastResolveCount != 1 {
+		t.Fatalf("support change must miss the fast path, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+
+	// A swapped profile pointer invalidates the incumbent.
+	loads2 := map[string]map[string]float64{"a": {"req": 150}, "b": {"req": 150}}
+	if _, err := mgr.Optimize(loads2); err != nil { // re-establish incumbent
+		t.Fatal(err)
+	}
+	mgr.Profiles["a"] = mgr.Profiles["a"].Clone()
+	if _, err := mgr.Optimize(loads2); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 1 {
+		t.Fatalf("profile swap must miss the fast path, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+}
+
+func TestOptimizeFastPathDisabledByDefault(t *testing.T) {
+	m := twoServiceModel(150)
+	mgr := &Manager{Profiles: m.Profiles, Targets: m.Targets}
+	loads := map[string]map[string]float64{"a": {"req": 100}, "b": {"req": 100}}
+	for i := 0; i < 3; i++ {
+		if _, err := mgr.Optimize(loads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mgr.FastResolveCount != 0 {
+		t.Fatalf("fast path must be off by default, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+	if mgr.OptimizeCount != 3 {
+		t.Fatalf("OptimizeCount = %d", mgr.OptimizeCount)
+	}
+}

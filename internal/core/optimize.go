@@ -37,6 +37,13 @@ type Model struct {
 	// residual fits an equal split of the budget. Quantifies how much the
 	// MIP's percentile freedom saves.
 	EqualSplitPercentiles bool
+	// NodeBudget caps the branch-and-bound search as a number of
+	// non-dominated leaf feasibility evaluations; the incumbent (if any)
+	// stands when the cap is hit. 0 selects the 5M default. Leaves — not
+	// raw visited nodes — are counted so that the fast solver and the
+	// retained reference (which walks subtrees the fast solver prunes)
+	// stop at exactly the same point and stay bit-identical when capped.
+	NodeBudget int
 }
 
 // targetMs is the effective (safety-scaled) latency target of target t.
@@ -74,6 +81,20 @@ type Solution struct {
 	Nodes int
 }
 
+// sortedChoiceNames returns the solution's service names in ascending
+// order. Control-loop code that acts per service (replica scaling, anomaly
+// recalculation) iterates this instead of ranging over the Choices map:
+// those actions interact — through cluster placement and mid-loop solution
+// swaps — so map iteration order would make runs nondeterministic.
+func sortedChoiceNames(sol *Solution) []string {
+	names := make([]string, 0, len(sol.Choices))
+	for name := range sol.Choices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // term is one additive latency contribution to a class constraint.
 type term struct {
 	service string
@@ -97,154 +118,23 @@ type option struct {
 // no load (declared but currently unused request classes) are dropped — they
 // consume no resources and have no distributions to constrain. It returns an
 // error when no explored combination is feasible.
+//
+// The search runs on a pooled solver (solver.go) with cached percentile
+// tables, precomputed cost orders and dominance pruning; it returns the same
+// picks, bounds and percentile assignment as the retained straightforward
+// implementation (reference.go), bit for bit — only Solution.Nodes differs,
+// since pruned subtrees are never visited.
 func (m *Model) Solve() (*Solution, error) {
 	if active := m.activeTargets(); len(active) != len(m.Targets) {
 		mm := *m
 		mm.Targets = active
 		return mm.Solve()
 	}
-	svcNames, opts, terms, budgets, err := m.compile()
-	if err != nil {
-		return nil, err
-	}
-	nSvc := len(svcNames)
-	nTgt := len(m.Targets)
-
-	// Per-target quick infeasibility data: best possible contribution per
-	// service (over all options and percentiles).
-	bestContrib := make([][]float64, nTgt) // [target][svcIdx]
-	for t := range m.Targets {
-		bestContrib[t] = make([]float64, nSvc)
-		for si := range svcNames {
-			best := 0.0
-			found := false
-			for _, op := range opts[si] {
-				if op.lat[t] == nil {
-					continue
-				}
-				for _, v := range op.lat[t] {
-					if !found || v < best {
-						best = v
-						found = true
-					}
-				}
-			}
-			bestContrib[t][si] = best
-		}
-	}
-	minCostFrom := make([]float64, nSvc+1)
-	for si := nSvc - 1; si >= 0; si-- {
-		minCost := math.Inf(1)
-		for _, op := range opts[si] {
-			if op.cost < minCost {
-				minCost = op.cost
-			}
-		}
-		minCostFrom[si] = minCostFrom[si+1] + minCost
-	}
-
-	bestCost := math.Inf(1)
-	var bestPick []int
-	pick := make([]int, nSvc)
-	nodes := 0
-
-	var rec func(si int, costSoFar float64, latSoFar []float64)
-	rec = func(si int, costSoFar float64, latSoFar []float64) {
-		nodes++
-		if nodes > 5_000_000 {
-			return // node budget; incumbent (if any) stands
-		}
-		if costSoFar+minCostFrom[si] >= bestCost {
-			return
-		}
-		if si == nSvc {
-			// Exact feasibility via the percentile-budget DP per target.
-			for t := range m.Targets {
-				if _, ok := m.assignPercentiles(t, terms[t], opts, pick, svcNames, budgets[t]); !ok {
-					return
-				}
-			}
-			bestCost = costSoFar
-			bestPick = append([]int(nil), pick...)
-			return
-		}
-		// Optimistic per-target feasibility using best-case remaining.
-		for t := range m.Targets {
-			optimistic := latSoFar[t]
-			for sj := si; sj < nSvc; sj++ {
-				optimistic += bestContrib[t][sj]
-			}
-			if optimistic > m.targetMs(t) {
-				return
-			}
-		}
-		// Try options cheapest-first so the first feasible leaf is a good
-		// incumbent.
-		order := make([]int, len(opts[si]))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return opts[si][order[a]].cost < opts[si][order[b]].cost })
-		next := make([]float64, nTgt)
-		for _, oi := range order {
-			op := opts[si][oi]
-			for t := 0; t < nTgt; t++ {
-				next[t] = latSoFar[t]
-				if op.lat[t] != nil {
-					// Best-case percentile for the bound (DP enforces the
-					// real budget at the leaf).
-					best := math.Inf(1)
-					for _, v := range op.lat[t] {
-						if v < best {
-							best = v
-						}
-					}
-					next[t] += best
-				}
-			}
-			pick[si] = op.index
-			rec(si+1, costSoFar+op.cost, next)
-		}
-	}
-	rec(0, 0, make([]float64, nTgt))
-
-	if bestPick == nil {
-		return nil, fmt.Errorf("core: no feasible LPR combination for the explored allocation space")
-	}
-
-	sol := &Solution{
-		Choices:          map[string]*Choice{},
-		PercentileChoice: map[string][]float64{},
-		BoundMs:          map[string]float64{},
-		TotalCPUs:        bestCost,
-		Nodes:            nodes,
-	}
-	for si, name := range svcNames {
-		p := m.Profiles[name]
-		pt := &p.Points[bestPick[si]]
-		var cost float64
-		for _, op := range opts[si] {
-			if op.index == bestPick[si] {
-				cost = op.cost
-			}
-		}
-		sol.Choices[name] = &Choice{
-			Service:     name,
-			PointIndex:  bestPick[si],
-			LPR:         pt.LPR,
-			RateSamples: pt.RateSamples,
-			CostCPUs:    cost,
-		}
-	}
-	for t, tgt := range m.Targets {
-		assign, ok := m.assignPercentiles(t, terms[t], opts, bestPick, svcNames, budgets[t])
-		if !ok {
-			return nil, fmt.Errorf("core: internal: winning pick infeasible for %s", tgt.Name)
-		}
-		sol.PercentileChoice[tgt.Name] = assign.percentiles
-		sol.BoundMs[tgt.Name] = assign.bound
-	}
-	return sol, nil
+	s := solverPool.Get().(*solver)
+	sol, err := s.solve(m)
+	s.m = nil
+	solverPool.Put(s)
+	return sol, err
 }
 
 // activeTargets filters out targets whose class sees no load anywhere on
@@ -500,57 +390,12 @@ func (m *Model) assignEqualSplit(t int, tms []term, opts [][]option, pick []int,
 // EstimateBound computes, for one class, the tightest Theorem 1 latency
 // bound from per-(service,class) latency samples of a single measurement
 // window — the estimator behind Fig. 9/10. dists maps "service/class" keys
-// to window samples.
+// to window samples. Each sample set is sorted once and all grid percentiles
+// read from the sorted slice; the DP state lives in a pooled arena, so
+// fig9-style sweeps (thousands of calls) allocate nothing in steady state.
 func EstimateBound(tgt ClassTarget, dists map[string][]float64) (float64, bool) {
-	budget := residualUnits(tgt.Percentile)
-	residuals := make([]int, len(Percentiles))
-	for b, p := range Percentiles {
-		residuals[b] = residualUnits(p)
-	}
-	rows := make([][]float64, len(tgt.Path))
-	for k, v := range tgt.Path {
-		samples := dists[v.Service+"/"+v.Class]
-		if len(samples) == 0 {
-			return 0, false
-		}
-		row := make([]float64, len(Percentiles))
-		for b, pp := range Percentiles {
-			row[b] = float64(v.Count) * stats.Percentile(samples, pp)
-		}
-		rows[k] = row
-	}
-	const inf = math.MaxFloat64 / 4
-	dp := make([][]float64, len(rows)+1)
-	for k := range dp {
-		dp[k] = make([]float64, budget+1)
-		for b := range dp[k] {
-			dp[k][b] = inf
-		}
-	}
-	dp[0][budget] = 0
-	for k := 0; k < len(rows); k++ {
-		for b := 0; b <= budget; b++ {
-			if dp[k][b] >= inf {
-				continue
-			}
-			for β, r := range residuals {
-				if r > b {
-					continue
-				}
-				if v := dp[k][b] + rows[k][β]; v < dp[k+1][b-r] {
-					dp[k+1][b-r] = v
-				}
-			}
-		}
-	}
-	best := inf
-	for b := 0; b <= budget; b++ {
-		if dp[len(rows)][b] < best {
-			best = dp[len(rows)][b]
-		}
-	}
-	if best >= inf {
-		return 0, false
-	}
-	return best, true
+	a := estimatePool.Get().(*estimateArena)
+	bound, ok := a.estimateBound(tgt, dists)
+	estimatePool.Put(a)
+	return bound, ok
 }

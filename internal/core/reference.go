@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveReference is the retained reference implementation of the decision
+// path: the straightforward branch-and-bound this package shipped before the
+// fast solver existed. It recomputes percentile rows from raw samples on
+// every call (via compile), re-sorts the option order inside every node and
+// allocates fresh DP tables per leaf — deliberately: it is the simple,
+// obviously-correct ground truth that the optimised solver is property-
+// tested against (same picks, bounds and percentile assignment, bit for
+// bit), and the honest pre-optimisation baseline for BenchmarkSolve.
+//
+// The only structural change from the historical code is the search budget:
+// both solvers count feasibility evaluations of non-dominated leaves (see
+// leafBudget), so a capped search stops at the same incumbent in both — a
+// raw visited-node cap could never match, because the fast solver skips
+// subtrees this walk still visits.
+func (m *Model) solveReference() (*Solution, error) {
+	if active := m.activeTargets(); len(active) != len(m.Targets) {
+		mm := *m
+		mm.Targets = active
+		return mm.solveReference()
+	}
+	svcNames, opts, terms, budgets, err := m.compile()
+	if err != nil {
+		return nil, err
+	}
+	nSvc := len(svcNames)
+	nTgt := len(m.Targets)
+
+	// Per-target quick infeasibility data: best possible contribution per
+	// service (over all options and percentiles).
+	bestContrib := make([][]float64, nTgt) // [target][svcIdx]
+	for t := range m.Targets {
+		bestContrib[t] = make([]float64, nSvc)
+		for si := range svcNames {
+			best := 0.0
+			found := false
+			for _, op := range opts[si] {
+				if op.lat[t] == nil {
+					continue
+				}
+				for _, v := range op.lat[t] {
+					if !found || v < best {
+						best = v
+						found = true
+					}
+				}
+			}
+			bestContrib[t][si] = best
+		}
+	}
+	minCostFrom := make([]float64, nSvc+1)
+	for si := nSvc - 1; si >= 0; si-- {
+		minCost := math.Inf(1)
+		for _, op := range opts[si] {
+			if op.cost < minCost {
+				minCost = op.cost
+			}
+		}
+		minCostFrom[si] = minCostFrom[si+1] + minCost
+	}
+	dominated := dominatedFlags(opts, nTgt)
+
+	bestCost := math.Inf(1)
+	var bestPick []int
+	pick := make([]int, nSvc)
+	pickPos := make([]int, nSvc) // option position per service (for dominance lookups)
+	nodes := 0
+	leafEvals := 0
+	budget := m.leafBudget()
+	capped := false
+
+	var rec func(si int, costSoFar float64, latSoFar []float64)
+	rec = func(si int, costSoFar float64, latSoFar []float64) {
+		nodes++
+		if capped {
+			return // leaf budget exhausted; incumbent (if any) stands
+		}
+		if costSoFar+minCostFrom[si] >= bestCost {
+			return
+		}
+		if si == nSvc {
+			clean := true
+			for sj := 0; sj < nSvc; sj++ {
+				if dominated[sj][pickPos[sj]] {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				leafEvals++
+				if leafEvals > budget {
+					capped = true
+					return
+				}
+			}
+			// Exact feasibility via the percentile-budget DP per target.
+			for t := range m.Targets {
+				if _, ok := m.assignPercentiles(t, terms[t], opts, pick, svcNames, budgets[t]); !ok {
+					return
+				}
+			}
+			bestCost = costSoFar
+			bestPick = append(bestPick[:0], pick...)
+			return
+		}
+		// Optimistic per-target feasibility using best-case remaining.
+		for t := range m.Targets {
+			optimistic := latSoFar[t]
+			for sj := si; sj < nSvc; sj++ {
+				optimistic += bestContrib[t][sj]
+			}
+			if optimistic > m.targetMs(t) {
+				return
+			}
+		}
+		// Try options cheapest-first so the first feasible leaf is a good
+		// incumbent.
+		order := costOrder(opts[si], nil)
+		next := make([]float64, nTgt)
+		for _, oi := range order {
+			op := opts[si][oi]
+			for t := 0; t < nTgt; t++ {
+				next[t] = latSoFar[t]
+				if op.lat[t] != nil {
+					// Best-case percentile for the bound (DP enforces the
+					// real budget at the leaf).
+					best := math.Inf(1)
+					for _, v := range op.lat[t] {
+						if v < best {
+							best = v
+						}
+					}
+					next[t] += best
+				}
+			}
+			pick[si] = op.index
+			pickPos[si] = oi
+			rec(si+1, costSoFar+op.cost, next)
+		}
+	}
+	rec(0, 0, make([]float64, nTgt))
+
+	if bestPick == nil {
+		return nil, fmt.Errorf("core: no feasible LPR combination for the explored allocation space")
+	}
+
+	sol := &Solution{
+		Choices:          map[string]*Choice{},
+		PercentileChoice: map[string][]float64{},
+		BoundMs:          map[string]float64{},
+		TotalCPUs:        bestCost,
+		Nodes:            nodes,
+	}
+	for si, name := range svcNames {
+		p := m.Profiles[name]
+		pt := &p.Points[bestPick[si]]
+		var cost float64
+		for _, op := range opts[si] {
+			if op.index == bestPick[si] {
+				cost = op.cost
+			}
+		}
+		sol.Choices[name] = &Choice{
+			Service:     name,
+			PointIndex:  bestPick[si],
+			LPR:         pt.LPR,
+			RateSamples: pt.RateSamples,
+			CostCPUs:    cost,
+		}
+	}
+	for t, tgt := range m.Targets {
+		assign, ok := m.assignPercentiles(t, terms[t], opts, bestPick, svcNames, budgets[t])
+		if !ok {
+			return nil, fmt.Errorf("core: internal: winning pick infeasible for %s", tgt.Name)
+		}
+		sol.PercentileChoice[tgt.Name] = assign.percentiles
+		sol.BoundMs[tgt.Name] = assign.bound
+	}
+	return sol, nil
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"ursa/internal/services"
 	"ursa/internal/sim"
@@ -75,7 +76,70 @@ type Profile struct {
 	Samples int
 	// ExploreTime is the simulated wall time the exploration took.
 	ExploreTime sim.Time
+
+	// grid caches the percentile tables of every point (see pointGrids).
+	// It is dropped by InvalidateGrid/SortPoints and never serialised.
+	grid *profileGrid
 }
+
+// profileGrid is the lazily built percentile-table cache of a Profile: for
+// every LPR point and class, the latency at each entry of the Percentiles
+// grid, computed from one sort of the point's sample set. The decision path
+// (Solve via compile) reads operating-point latencies thousands of times per
+// search; without the cache every read re-selects order statistics from the
+// raw samples. The struct is heap-allocated and never copied, so the
+// sync.Once is safe; Profiles handed to concurrent solvers share one build.
+type profileGrid struct {
+	once   sync.Once
+	tables []map[string][]float64 // per point: class → [len(Percentiles)]latency
+}
+
+// gridCacheMu guards the grid pointer of every Profile. Builds themselves
+// run outside the lock (in the per-profile sync.Once), so concurrent solves
+// over different profiles do not serialise.
+var gridCacheMu sync.Mutex
+
+// pointGrids returns the cached percentile tables, building them on first
+// use. tables[pi][class][β] == Percentile(Points[pi].Latency[class],
+// Percentiles[β]) bit-for-bit (one sort, grid reads — see
+// stats.GridPercentiles).
+func (p *Profile) pointGrids() []map[string][]float64 {
+	gridCacheMu.Lock()
+	g := p.grid
+	if g == nil {
+		g = &profileGrid{}
+		p.grid = g
+	}
+	gridCacheMu.Unlock()
+	g.once.Do(func() {
+		tables := make([]map[string][]float64, len(p.Points))
+		for i := range p.Points {
+			pt := &p.Points[i]
+			m := make(map[string][]float64, len(pt.Latency))
+			for class, samples := range pt.Latency {
+				row := make([]float64, len(Percentiles))
+				stats.GridPercentiles(samples, Percentiles, row)
+				m[class] = row
+			}
+			tables[i] = m
+		}
+		g.tables = tables
+	})
+	return g.tables
+}
+
+// InvalidateGrid drops the cached percentile tables. Call it after mutating
+// Points (or their latency samples) in place; code that installs a fresh
+// *Profile does not need it.
+func (p *Profile) InvalidateGrid() {
+	gridCacheMu.Lock()
+	p.grid = nil
+	gridCacheMu.Unlock()
+}
+
+// Precompute eagerly builds the percentile tables so the first Solve after
+// exploration does not pay the sort cost on the decision path.
+func (p *Profile) Precompute() { p.pointGrids() }
 
 // Clone returns a deep copy of the point: mutating the copy's maps or
 // sample slices cannot affect the original.
@@ -96,9 +160,12 @@ func (p *LPRPoint) Clone() LPRPoint {
 	return q
 }
 
-// Clone returns a deep copy of the profile.
+// Clone returns a deep copy of the profile. The clone starts with an empty
+// percentile-table cache: caches are per-instance so a clone mutated in
+// place cannot read stale tables.
 func (p *Profile) Clone() *Profile {
 	q := *p
+	q.grid = nil
 	q.Points = make([]LPRPoint, len(p.Points))
 	for i := range p.Points {
 		q.Points[i] = p.Points[i].Clone()
@@ -116,11 +183,13 @@ func CloneProfiles(profiles map[string]*Profile) map[string]*Profile {
 	return out
 }
 
-// SortPoints orders Points by ascending maximum LPR.
+// SortPoints orders Points by ascending maximum LPR. Reordering points
+// shifts their indices, so any cached percentile tables are dropped.
 func (p *Profile) SortPoints() {
 	sort.Slice(p.Points, func(i, j int) bool {
 		return p.Points[i].MaxLPR() < p.Points[j].MaxLPR()
 	})
+	p.InvalidateGrid()
 }
 
 // PathVisit is one service on a request class's flow, with how many times a

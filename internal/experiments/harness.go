@@ -222,6 +222,9 @@ func (u *ursaAdapter) Attach(app *services.App) {
 }
 func (u *ursaAdapter) Detach() { u.mgr.Stop() }
 func (u *ursaAdapter) AvgDecisionMillis() float64 {
+	// Table VI's "deploy" column is the per-tick scaling decision; model
+	// solves are its separate "update" column. Manager.AvgDecisionMillis
+	// reports the combined per-decision cost when both matter.
 	if u.mgr.Controller == nil {
 		return 0
 	}

@@ -1,0 +1,103 @@
+package services
+
+import (
+	"testing"
+	"time"
+
+	"ursa/internal/sim"
+)
+
+// ingressSpec is a single ingress-enabled service: every admission costs
+// CPU, and the per-replica flow-control window bounds concurrency.
+func ingressSpec(replicas, window int) AppSpec {
+	return AppSpec{
+		Name: "ingress",
+		Services: []ServiceSpec{{
+			Name: "recv", Threads: 64, CPUs: 8, InitialReplicas: replicas,
+			IngressCostMs: 1, IngressWindow: window,
+			Handlers: map[string][]Step{"req": Seq(Compute{MeanMs: 0.1, CV: -1})},
+		}},
+		Classes: []ClassSpec{{Name: "req", Entry: "recv", SLAPercentile: 99, SLAMillis: 1000}},
+	}
+}
+
+func TestIngressWaitPreservesFIFO(t *testing.T) {
+	eng := sim.NewEngine(30)
+	app := MustNewApp(eng, ingressSpec(1, 1))
+	svc := app.Service("recv")
+	const n = 200
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		svc.Send(&Request{Class: "req"}, func() { order = append(order, i) })
+	}
+	eng.RunUntil(sim.Minute)
+	if len(order) != n {
+		t.Fatalf("admitted %d of %d sends", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order broken at %d: got send #%d", i, got)
+		}
+	}
+}
+
+// TestIngressBurstDrainsLinearly guards the head-index wait queue: a large
+// blocked-sender burst must drain in (amortised) linear time. The old
+// implementation shifted the whole slice on every admission — O(n²), which
+// for this burst size moves hundreds of gigabytes and takes minutes; the
+// ring finishes in a couple of seconds even on a loaded CI box.
+func TestIngressBurstDrainsLinearly(t *testing.T) {
+	eng := sim.NewEngine(31)
+	app := MustNewApp(eng, ingressSpec(4, 8))
+	svc := app.Service("recv")
+	const n = 300_000
+	admitted := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		svc.Send(&Request{Class: "req"}, func() { admitted++ })
+	}
+	eng.RunUntil(10 * sim.Minute)
+	elapsed := time.Since(start)
+	if admitted != n {
+		t.Fatalf("admitted %d of %d sends (ingress queue left %d)", admitted, n, svc.IngressQueueLen())
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("draining %d blocked senders took %v — wait queue is not linear", n, elapsed)
+	}
+}
+
+func TestPickIngressReplicaRoundRobinFromZero(t *testing.T) {
+	eng := sim.NewEngine(32)
+	app := MustNewApp(eng, ingressSpec(3, 4))
+	svc := app.Service("recv")
+	// The very first admission must hit replica 0, then cycle 1, 2, 0, ...
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		got := svc.pickIngressReplica()
+		if got != svc.replicas[w] {
+			t.Fatalf("pick %d: got replica %v, want index %d", i, got, w)
+		}
+	}
+	_ = eng
+}
+
+func TestIngressRRResetOnScaleIn(t *testing.T) {
+	eng := sim.NewEngine(33)
+	app := MustNewApp(eng, ingressSpec(5, 4))
+	svc := app.Service("recv")
+	for i := 0; i < 4; i++ {
+		svc.pickIngressReplica() // cursor now at 4
+	}
+	if svc.ingressRR != 4 {
+		t.Fatalf("cursor = %d, want 4", svc.ingressRR)
+	}
+	svc.SetReplicas(2)
+	if svc.ingressRR >= len(svc.replicas) {
+		t.Fatalf("cursor %d not reset below replica count %d", svc.ingressRR, len(svc.replicas))
+	}
+	if got := svc.pickIngressReplica(); got != svc.replicas[0] {
+		t.Fatal("first pick after scale-in must be replica 0")
+	}
+	_ = eng
+}

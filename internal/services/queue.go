@@ -60,3 +60,34 @@ func (q *reqQueue) lenPriority(p int) int {
 	}
 	return n
 }
+
+// sendQueue is the FIFO of senders blocked on a service's ingress
+// flow-control window. A head index replaces the per-admission element
+// shift, so draining a burst of n blocked senders is O(n) total instead of
+// O(n²); the slice is compacted once the dead prefix crosses half the
+// backing array, keeping per-operation cost amortised O(1).
+type sendQueue struct {
+	items []pendingSend
+	head  int
+}
+
+func (q *sendQueue) push(p pendingSend) {
+	q.items = append(q.items, p)
+}
+
+func (q *sendQueue) pop() pendingSend {
+	p := q.items[q.head]
+	q.items[q.head] = pendingSend{} // release the request and callback for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *sendQueue) len() int { return len(q.items) - q.head }

@@ -27,7 +27,7 @@ type Service struct {
 
 	// Ingress flow-control state (active when spec.IngressCostMs > 0).
 	ingressBusy int
-	ingressWait []pendingSend
+	ingressWait sendQueue
 	ingressRR   int
 
 	// RespTime records the per-tier response time of every request handled
@@ -166,6 +166,9 @@ func (s *Service) SetReplicas(n int) {
 		if s.rrNext >= len(s.replicas) {
 			s.rrNext = 0
 		}
+		if s.ingressRR >= len(s.replicas) {
+			s.ingressRR = 0
+		}
 		s.updateAlloc()
 	}
 }
@@ -228,7 +231,7 @@ func (s *Service) Send(r *Request, accepted func()) {
 		s.admit(r, accepted)
 		return
 	}
-	s.ingressWait = append(s.ingressWait, pendingSend{req: r, accepted: accepted})
+	s.ingressWait.push(pendingSend{req: r, accepted: accepted})
 }
 
 // ingressCapacity is the total flow-control window across active replicas.
@@ -241,7 +244,7 @@ func (s *Service) ingressCapacity() int {
 }
 
 // IngressQueueLen reports senders currently blocked on the window.
-func (s *Service) IngressQueueLen() int { return len(s.ingressWait) }
+func (s *Service) IngressQueueLen() int { return s.ingressWait.len() }
 
 func (s *Service) admit(r *Request, accepted func()) {
 	s.ingressBusy++
@@ -257,21 +260,25 @@ func (s *Service) admit(r *Request, accepted func()) {
 }
 
 func (s *Service) pickIngressReplica() *Replica {
-	// Round-robin over active replicas, independent of worker placement.
+	// Round-robin over active replicas, independent of worker placement:
+	// use the current cursor, then advance — so replica 0 takes its fair
+	// share starting from the very first admission after any scale event.
 	if len(s.replicas) == 0 {
 		// All replicas draining (transient during scale-in): use one of
 		// them; scaling code keeps at least one replica live.
 		return s.draining[0]
 	}
-	s.ingressRR = (s.ingressRR + 1) % len(s.replicas)
-	return s.replicas[s.ingressRR]
+	idx := s.ingressRR
+	if idx >= len(s.replicas) {
+		idx = 0
+	}
+	s.ingressRR = (idx + 1) % len(s.replicas)
+	return s.replicas[idx]
 }
 
 func (s *Service) drainIngress() {
-	for len(s.ingressWait) > 0 && s.ingressBusy < s.ingressCapacity() {
-		next := s.ingressWait[0]
-		copy(s.ingressWait, s.ingressWait[1:])
-		s.ingressWait = s.ingressWait[:len(s.ingressWait)-1]
+	for s.ingressWait.len() > 0 && s.ingressBusy < s.ingressCapacity() {
+		next := s.ingressWait.pop()
 		s.admit(next.req, next.accepted)
 	}
 }

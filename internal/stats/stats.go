@@ -203,6 +203,31 @@ func PercentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// GridPercentiles fills out[i] with the ps[i]-th percentile of xs, sorting a
+// pooled copy of xs once and reading every percentile from the sorted slice.
+// For k percentiles over n samples this is one O(n log n) sort instead of k
+// O(n) selections (each of which also copies xs), which is what makes cached
+// percentile tables over a whole grid cheap to build. Results are bit-
+// identical to calling Percentile(xs, p) per entry: both read the same order
+// statistics with the same interpolation arithmetic. xs is not modified; an
+// empty xs yields all zeros.
+func GridPercentiles(xs, ps, out []float64) {
+	if len(xs) == 0 {
+		for i := range ps {
+			out[i] = 0
+		}
+		return
+	}
+	scratch := GetScratch()
+	buf := append(*scratch, xs...)
+	sort.Float64s(buf)
+	for i, p := range ps {
+		out[i] = PercentileSorted(buf, p)
+	}
+	*scratch = buf[:0]
+	PutScratch(scratch)
+}
+
 // Summary bundles the descriptive statistics of a sample.
 type Summary struct {
 	N             int

@@ -419,3 +419,41 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal("Deterministic broken")
 	}
 }
+
+// TestGridPercentilesMatchesPercentile pins the cached-table read path: a
+// grid built by one sort must be bit-identical to per-percentile quickselect
+// calls, including empty input and unsorted/duplicated samples.
+func TestGridPercentilesMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ps := []float64{0, 50, 75, 90, 95, 99, 99.5, 99.8, 99.9, 100}
+	out := make([]float64, len(ps))
+	for _, n := range []int{0, 1, 2, 7, 100, 2531} {
+		xs := make([]float64, n)
+		for i := range xs {
+			if i%5 == 0 {
+				xs[i] = float64(rng.Intn(4)) // duplicates
+			} else {
+				xs[i] = rng.ExpFloat64() * 50
+			}
+		}
+		GridPercentiles(xs, ps, out)
+		for i, p := range ps {
+			if want := Percentile(xs, p); out[i] != want {
+				t.Fatalf("n=%d p=%v: grid %v vs direct %v", n, p, out[i], want)
+			}
+		}
+	}
+}
+
+// TestGridPercentilesDoesNotMutate pins that the input slice is untouched.
+func TestGridPercentilesDoesNotMutate(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	orig := append([]float64(nil), xs...)
+	out := make([]float64, 3)
+	GridPercentiles(xs, []float64{10, 50, 90}, out)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %v vs %v", i, xs, orig)
+		}
+	}
+}
