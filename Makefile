@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience clean
 
 all: check
 
@@ -44,6 +44,12 @@ bench-decision:
 		-benchmem ./internal/core \
 		| $(GO) run ./cmd/benchjson > BENCH_decision.json
 	@echo wrote BENCH_decision.json
+
+# bench-resilience smoke-runs the Fig. F1 chaos grid (node failure +
+# recovery on the paper testbed) once at small scale: every fault-injection
+# path — crash-eviction, manager re-placement, retries — executes end to end.
+bench-resilience:
+	$(GO) test -run '^$$' -bench 'BenchmarkResilience' -benchtime=1x ./internal/experiments
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,7 @@
 //	ursa-bench -exp fig11 -apps social-network,media-service -scale 0.3
 //
 // Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
-// tab6, fig14, all. Scale < 1 shortens deployments and ML sample counts
+// tab6, fig14, figf1 (fault injection / recovery), all. Scale < 1 shortens deployments and ML sample counts
 // proportionally; shapes are preserved.
 //
 // Independent simulation cells run concurrently on a bounded worker pool
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|ablation|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|ablation|all")
 		scale    = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "results", "output directory")
@@ -88,6 +88,7 @@ func main() {
 	run("fig13", func() string { return experiments.RunDiurnal(opts).Render() })
 	run("tab6", func() string { return experiments.RunControlPlane(opts).Render() })
 	run("fig14", func() string { return experiments.RunAdaptation(opts).Render() })
+	run("figf1", func() string { return experiments.RunResilience(opts).Render() })
 	run("ablation", func() string { return experiments.RunAblation(opts).Render() })
 
 	// Experiments themselves are independent jobs: fan them over the same

@@ -5,8 +5,15 @@
 //
 //	ursa-sim -app social-network -system ursa -load dynamic -minutes 30
 //	ursa-sim -app video-pipeline -system auto-a -load constant
+//	ursa-sim -app social-network -system ursa -resilience -fail-node node-7 -fail-at 10 -fail-for 5
 //
 // Systems: ursa, sinan, firm, auto-a, auto-b, none.
+//
+// Fault injection: -fail-node crashes a node mid-run (the app is then bound
+// to the paper's 8-node testbed so placements are real); -resilience arms
+// client-side RPC timeouts and retries — required for runs where replicas
+// can die, or callers of crashed replicas hang forever, exactly like an
+// unprotected real client.
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 
 	"ursa/internal/baselines"
 	"ursa/internal/baselines/autoscale"
+	"ursa/internal/cluster"
 	"ursa/internal/experiments"
+	"ursa/internal/faults"
 	"ursa/internal/services"
 	"ursa/internal/sim"
 	"ursa/internal/stats"
@@ -37,6 +46,11 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		specFile = flag.String("spec", "", "load a custom application spec from a JSON file (overrides -app; rate via -basirps)")
 		baseRPS  = flag.Float64("basirps", 100, "nominal RPS for a -spec application")
+
+		failNode   = flag.String("fail-node", "", "crash this node mid-run (e.g. node-7); binds the app to the paper testbed cluster")
+		failAt     = flag.Float64("fail-at", 10, "minutes after warm-up at which the node fails")
+		failFor    = flag.Float64("fail-for", 5, "minutes until the failed node recovers (0 = never)")
+		resilience = flag.Bool("resilience", false, "enable client-side RPC timeouts and retries")
 	)
 	flag.Parse()
 
@@ -107,16 +121,44 @@ func main() {
 	}
 
 	eng := sim.NewEngine(*seed)
-	app, err := services.NewApp(eng, c.Spec)
-	if err != nil {
-		fatalf("deploy: %v", err)
+	warm := 2 * sim.Minute
+	var (
+		app *services.App
+		err error
+		in  *faults.Injector
+	)
+	if *failNode != "" {
+		// Node faults need real placements to evict: bind to the testbed.
+		cl := cluster.PaperTestbed()
+		if cl.NodeByName(*failNode) == nil {
+			fatalf("unknown node %q (testbed has node-0 … node-7)", *failNode)
+		}
+		app, err = services.NewAppOnCluster(eng, c.Spec, cl)
+		if err != nil {
+			fatalf("deploy: %v", err)
+		}
+		in = faults.New(eng, app, cl, faults.Schedule{NodeFails: []faults.NodeFail{{
+			Node: *failNode,
+			At:   warm + sim.Time(*failAt*float64(sim.Minute)),
+			For:  sim.Time(*failFor * float64(sim.Minute)),
+		}}})
+		in.Start()
+	} else {
+		app, err = services.NewApp(eng, c.Spec)
+		if err != nil {
+			fatalf("deploy: %v", err)
+		}
+	}
+	if *resilience {
+		app.SetResilience(services.ResiliencePolicy{})
+	} else if *failNode != "" {
+		fmt.Fprintln(os.Stderr, "ursa-sim: warning: -fail-node without -resilience — callers of crashed replicas will hang")
 	}
 	gen := workload.New(eng, app, pattern, c.Mix)
 	gen.Start()
 	if mgr != nil {
 		mgr.Attach(app)
 	}
-	warm := 2 * sim.Minute
 	eng.RunUntil(warm)
 	alloc0 := app.AllocIntegralCPUSeconds()
 	eng.RunUntil(warm + dur)
@@ -158,6 +200,25 @@ func main() {
 		fmt.Printf("avg decision latency:       %.3f ms\n", mgr.AvgDecisionMillis())
 	}
 	fmt.Printf("jobs injected/completed:    %d/%d\n", app.InjectedJobs, app.CompletedJobs())
+	if *resilience || in != nil {
+		fmt.Printf("jobs failed:                %d (availability %.3f%%)\n", app.FailedJobs(), app.Availability()*100)
+	}
+	if *resilience {
+		var retries, errors float64
+		for _, name := range app.ServiceNames() {
+			svc := app.Service(name)
+			retries += svc.RPCRetries.Total(0, warm+dur)
+			errors += svc.RPCErrors.Total(0, warm+dur)
+		}
+		fmt.Printf("rpc errors/retries:         %.0f/%.0f\n", errors, retries)
+	}
+	if in != nil {
+		fmt.Printf("replicas evicted:           %d (unschedulable events: %d)\n", in.Evicted, app.UnschedulableEvents)
+		fmt.Println("\nfault log:")
+		for _, rec := range in.Records {
+			fmt.Printf("  %-12v %s\n", rec.At, rec.Detail)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -111,6 +111,17 @@ func (a *Autoscaler) tick() {
 	}
 	for _, name := range a.app.ServiceNames() {
 		svc := a.app.Service(name)
+		if svc.Replicas() == 0 {
+			// A crash (fault injection) can wipe every replica, and a dead
+			// service emits no utilisation signal for the thresholds to act
+			// on. Enforce minimum capacity the way a real scaling group
+			// does — immediately, outside the alarm/cooldown machinery.
+			// Unreachable in fault-free runs: graceful scale-in never drops
+			// below one replica.
+			svc.SetReplicas(a.cfg.MinReplicas)
+			a.lastAction[name] = now
+			continue
+		}
 		if last, ok := a.lastAction[name]; ok && a.cfg.Cooldown > 0 && now-last < a.cfg.Cooldown {
 			continue
 		}

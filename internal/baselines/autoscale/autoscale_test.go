@@ -124,3 +124,28 @@ func TestAutoACooldownLimitsActionRate(t *testing.T) {
 		t.Fatalf("replicas = %d, no scaling at all", got)
 	}
 }
+
+// TestRestoresWipedService covers the fault-injection interaction: a crash
+// that kills every replica leaves no utilisation signal, so the autoscaler
+// must restore minimum capacity directly rather than wait for an alarm that
+// can never fire.
+func TestRestoresWipedService(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := scaleApp(eng, 1)
+	as := New(AutoA())
+	as.Attach(app)
+	eng.RunUntil(4 * sim.Minute)
+	svc := app.Service("api")
+	if !svc.CrashReplica(0) {
+		t.Fatal("crash failed")
+	}
+	if svc.Replicas() != 0 {
+		t.Fatalf("replicas = %d after crash, want 0", svc.Replicas())
+	}
+	// Next evaluation tick must bring the service back, cooldown or not.
+	eng.RunUntil(8 * sim.Minute)
+	as.Detach()
+	if got := svc.Replicas(); got < AutoA().MinReplicas {
+		t.Fatalf("replicas = %d after wipe, want ≥%d", got, AutoA().MinReplicas)
+	}
+}

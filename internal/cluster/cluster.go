@@ -3,19 +3,22 @@
 // allocation accounting. The paper's testbed is 8 machines with 40–88 CPUs
 // each (§VII-A); binding an application to a Cluster makes replica scaling
 // subject to real capacity, so autoscalers can hit the wall the way they do
-// in production.
+// in production. Nodes also carry a failure lifecycle (SetDown) and an
+// effective-capacity factor (SetCPUFactor) so fault injection can drain
+// capacity and degrade co-located replicas.
 package cluster
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Node is one machine.
 type Node struct {
 	Name     string
 	Capacity float64 // CPUs
 	used     float64
+	down     bool
+	// cpuFactor scales the node's effective CPU speed (interference model);
+	// 0 means unset and reads as 1.
+	cpuFactor float64
 }
 
 // Used reports allocated CPUs.
@@ -23,6 +26,32 @@ func (n *Node) Used() float64 { return n.used }
 
 // Free reports unallocated CPUs.
 func (n *Node) Free() float64 { return n.Capacity - n.used }
+
+// Down reports whether the node is failed.
+func (n *Node) Down() bool { return n.down }
+
+// SetDown fails (true) or recovers (false) the node. Place skips down nodes;
+// existing allocations are untouched — evicting resident replicas is the
+// caller's job (services.App.EvictNode).
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// CPUFactor reports the node's effective-capacity multiplier (1 = nominal).
+func (n *Node) CPUFactor() float64 {
+	if n.cpuFactor == 0 {
+		return 1
+	}
+	return n.cpuFactor
+}
+
+// SetCPUFactor models CPU interference: resident replicas run at factor ×
+// their nominal rate. Allocation bookkeeping is unchanged — the node still
+// "holds" the same CPUs, they are just slower.
+func (n *Node) SetCPUFactor(f float64) {
+	if f <= 0 {
+		panic("cluster: non-positive cpu factor")
+	}
+	n.cpuFactor = f
+}
 
 // Placement records where a replica landed; keep it to release later.
 type Placement struct {
@@ -72,11 +101,32 @@ func PaperTestbed() *Cluster {
 // Nodes lists the nodes (callers must not mutate).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// TotalCapacity sums node capacities.
+// NodeByName finds a node by name, or nil.
+func (c *Cluster) NodeByName(name string) *Node {
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalCapacity sums node capacities, down or not.
 func (c *Cluster) TotalCapacity() float64 {
 	t := 0.0
 	for _, n := range c.nodes {
 		t += n.Capacity
+	}
+	return t
+}
+
+// AvailableCapacity sums the capacities of up nodes only.
+func (c *Cluster) AvailableCapacity() float64 {
+	t := 0.0
+	for _, n := range c.nodes {
+		if !n.down {
+			t += n.Capacity
+		}
 	}
 	return t
 }
@@ -90,39 +140,64 @@ func (c *Cluster) TotalUsed() float64 {
 	return t
 }
 
-// ErrNoCapacity is returned when no node can host the replica.
+// ErrNoCapacity is returned when no node can host the replica. It carries
+// enough of the capacity picture to diagnose placement failures in long
+// runs: the largest free fragment (is this fragmentation or exhaustion?)
+// and the total free capacity across up nodes.
 type ErrNoCapacity struct {
-	CPUs float64
+	CPUs        float64 // requested
+	LargestFree float64 // biggest free fragment on any up node
+	TotalFree   float64 // free CPUs summed over up nodes
+	DownNodes   int     // nodes currently failed
 }
 
 // Error implements error.
 func (e ErrNoCapacity) Error() string {
-	return fmt.Sprintf("cluster: no node with %.1f free CPUs", e.CPUs)
+	msg := fmt.Sprintf("cluster: no node with %.1f free CPUs (largest free fragment %.1f, %.1f total free)",
+		e.CPUs, e.LargestFree, e.TotalFree)
+	if e.DownNodes > 0 {
+		msg += fmt.Sprintf("; %d node(s) down", e.DownNodes)
+	}
+	return msg
 }
 
-// Place allocates cpus on a node per the strategy.
+// Place allocates cpus on an up node per the strategy. Ties on equal free
+// capacity break to the lowest node index, deterministically.
 func (c *Cluster) Place(cpus float64) (Placement, error) {
 	if cpus <= 0 {
 		panic("cluster: non-positive placement")
 	}
-	var candidates []*Node
+	var best *Node
 	for _, n := range c.nodes {
-		if n.Free() >= cpus-1e-9 {
-			candidates = append(candidates, n)
+		if n.down || n.Free() < cpus-1e-9 {
+			continue
+		}
+		if best == nil {
+			best = n
+			continue
+		}
+		// Strict comparisons keep the first (lowest-index) node on ties.
+		free, bfree := n.Free(), best.Free()
+		if (c.strategy == BestFit && free < bfree) || (c.strategy == WorstFit && free > bfree) {
+			best = n
 		}
 	}
-	if len(candidates) == 0 {
-		return Placement{}, ErrNoCapacity{CPUs: cpus}
-	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if c.strategy == BestFit {
-			return candidates[i].Free() < candidates[j].Free()
+	if best == nil {
+		e := ErrNoCapacity{CPUs: cpus}
+		for _, n := range c.nodes {
+			if n.down {
+				e.DownNodes++
+				continue
+			}
+			if f := n.Free(); f > e.LargestFree {
+				e.LargestFree = f
+			}
+			e.TotalFree += n.Free()
 		}
-		return candidates[i].Free() > candidates[j].Free()
-	})
-	n := candidates[0]
-	n.used += cpus
-	return Placement{Node: n, CPUs: cpus}, nil
+		return Placement{}, e
+	}
+	best.used += cpus
+	return Placement{Node: best, CPUs: cpus}, nil
 }
 
 // Release returns a placement's CPUs to its node.
@@ -140,10 +215,14 @@ func (c *Cluster) Release(p Placement) {
 }
 
 // FitsReplicas reports how many replicas of the given size the cluster
-// could still place (a capacity planner's view; does not allocate).
+// could still place on up nodes (a capacity planner's view; does not
+// allocate).
 func (c *Cluster) FitsReplicas(cpus float64) int {
 	n := 0
 	for _, node := range c.nodes {
+		if node.down {
+			continue
+		}
 		free := node.Free()
 		for free >= cpus-1e-9 {
 			free -= cpus

@@ -47,6 +47,82 @@ func TestNoCapacity(t *testing.T) {
 	}
 }
 
+func TestNoCapacityMessage(t *testing.T) {
+	c := New(BestFit, 4, 8)
+	if _, err := c.Place(3); err != nil { // node-0 now has 1 free
+		t.Fatal(err)
+	}
+	if _, err := c.Place(6); err != nil { // node-1 now has 2 free
+		t.Fatal(err)
+	}
+	_, err := c.Place(5)
+	want := "cluster: no node with 5.0 free CPUs (largest free fragment 2.0, 3.0 total free)"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+	c.NodeByName("node-1").SetDown(true)
+	_, err = c.Place(5)
+	want = "cluster: no node with 5.0 free CPUs (largest free fragment 1.0, 1.0 total free); 1 node(s) down"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+}
+
+func TestPlaceTieBreaksOnLowestIndex(t *testing.T) {
+	// Equal free capacity everywhere: both strategies must deterministically
+	// pick the lowest-index node.
+	for _, s := range []Strategy{BestFit, WorstFit} {
+		c := New(s, 8, 8, 8)
+		p, err := c.Place(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Node.Name != "node-0" {
+			t.Fatalf("strategy %v: tie broke to %s, want node-0", s, p.Node.Name)
+		}
+	}
+}
+
+func TestPlaceSkipsDownNodes(t *testing.T) {
+	c := New(WorstFit, 8, 16)
+	c.NodeByName("node-1").SetDown(true)
+	p, err := c.Place(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Node.Name != "node-0" {
+		t.Fatalf("placed on %s, want node-0 (node-1 is down)", p.Node.Name)
+	}
+	if got := c.AvailableCapacity(); got != 8 {
+		t.Fatalf("AvailableCapacity = %v, want 8", got)
+	}
+	if got := c.FitsReplicas(4); got != 1 { // only node-0's remaining 6 CPUs count
+		t.Fatalf("FitsReplicas(4) = %d, want 1", got)
+	}
+	c.NodeByName("node-1").SetDown(false)
+	p2, err := c.Place(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Node.Name != "node-1" {
+		t.Fatalf("after recovery placed on %s, want node-1", p2.Node.Name)
+	}
+}
+
+func TestPlaceDoesNotAllocate(t *testing.T) {
+	c := New(BestFit, 16, 24, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		p, err := c.Place(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("Place+Release allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func TestFitsReplicas(t *testing.T) {
 	c := New(BestFit, 10, 7)
 	if got := c.FitsReplicas(4); got != 3 { // 2 in node-0, 1 in node-1

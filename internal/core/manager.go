@@ -271,6 +271,11 @@ func (m *Manager) Run(app *services.App, mix workload.Mix, totalRPS float64, cct
 			m.Detector.SetSolution(newSol)
 		}
 	}
+	// Infrastructure failures (§V.5's anomaly axis the paper never
+	// exercises): when a crash evicts replicas, re-solve against live loads
+	// and re-place the lost capacity immediately instead of waiting for the
+	// next control tick.
+	app.OnEviction = func(evs []services.Eviction) { m.handleEviction(app, evs) }
 
 	// Apply initial allocation in sorted service order: on cluster-bound
 	// apps replica placement depends on allocation order, so map order here
@@ -308,12 +313,33 @@ func (m *Manager) Run(app *services.App, mix workload.Mix, totalRPS float64, cct
 	return nil
 }
 
-// Stop halts the manager's tickers.
+// handleEviction is the crash-recovery path: refresh the thresholds from
+// live loads (capturing any drift since the last solve), then re-place the
+// evicted replicas on the remaining capacity. Placement failures surface as
+// UnschedulableEvents; the periodic controller retries on its next tick.
+func (m *Manager) handleEviction(app *services.App, evs []services.Eviction) {
+	if live := m.LiveLoads(app, 3); len(live) > 0 {
+		if sol, err := m.Optimize(live); err == nil {
+			m.Controller.SetSolution(sol)
+			m.Detector.SetSolution(sol)
+		}
+	}
+	for _, ev := range evs {
+		if svc := app.Service(ev.Service); svc != nil {
+			svc.SetReplicas(svc.Replicas() + ev.Replicas)
+		}
+	}
+}
+
+// Stop halts the manager's tickers and detaches the eviction hook.
 func (m *Manager) Stop() {
 	for _, t := range m.tickers {
 		t.Stop()
 	}
 	m.tickers = nil
+	if m.app != nil {
+		m.app.OnEviction = nil
+	}
 }
 
 // AvgOptimizeMillis reports the mean wall-clock model-solve latency.

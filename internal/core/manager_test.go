@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"ursa/internal/cluster"
 	"ursa/internal/services"
 	"ursa/internal/sim"
 	"ursa/internal/stats"
@@ -203,5 +204,58 @@ func TestOptimizeFastPathDisabledByDefault(t *testing.T) {
 	}
 	if mgr.OptimizeCount != 3 {
 		t.Fatalf("OptimizeCount = %d", mgr.OptimizeCount)
+	}
+}
+
+// TestManagerReplacesEvictedReplicas drives the crash-recovery path: a node
+// failure evicts replicas mid-run and the manager must re-place them
+// immediately via the OnEviction hook, not wait for drift detection.
+func TestManagerReplacesEvictedReplicas(t *testing.T) {
+	e := miniExplorer()
+	profiles, _, err := e.ExploreAll(fastExploreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine(7)
+	cl := cluster.New(cluster.WorstFit, 16, 16)
+	app, err := services.NewAppOnCluster(eng, e.Spec, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(e.Spec, profiles)
+	if err := mgr.Run(app, workload.Mix{"req": 1}, 150, ControllerConfig{}, AnomalyConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(eng, app, workload.Constant{Value: 150}, workload.Mix{"req": 1})
+	gen.Start()
+
+	eng.RunUntil(5 * sim.Minute)
+	before := app.Service("front").Replicas() + app.Service("back").Replicas()
+	n0 := cl.NodeByName("node-0")
+	var evicted int
+	eng.Schedule(0, func() {
+		n0.SetDown(true)
+		for _, ev := range app.EvictNode(n0) {
+			evicted += ev.Replicas
+		}
+	})
+	eng.RunUntil(5*sim.Minute + sim.Second)
+	if evicted == 0 {
+		t.Fatal("node failure evicted nothing; test needs replicas on node-0")
+	}
+	after := app.Service("front").Replicas() + app.Service("back").Replicas()
+	if after < before {
+		t.Fatalf("manager did not re-place evicted capacity: %d replicas before, %d after (%d evicted)",
+			before, after, evicted)
+	}
+	for _, n := range cl.Nodes() {
+		if n.Down() && n.Used() > 0 {
+			t.Fatalf("down node %s still holds %v CPUs", n.Name, n.Used())
+		}
+	}
+	mgr.Stop()
+	if app.OnEviction != nil {
+		t.Fatal("Stop did not detach the eviction hook")
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ursa/internal/core"
@@ -144,7 +145,13 @@ func RunAccuracy(opts Options, c AppCase, classes []string) AccuracyResult {
 func (r AccuracyResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig.9/10 — %s: estimated vs measured latency\n", r.App)
-	for class, pts := range r.Series {
+	classes := make([]string, 0, len(r.Series))
+	for class := range r.Series {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes) // map order would shuffle sections run to run
+	for _, class := range classes {
+		pts := r.Series[class]
 		fmt.Fprintf(&b, "class %s (mean est/meas ratio %.2f):\n", class, r.Ratio[class])
 		fmt.Fprintf(&b, "%8s %14s %14s\n", "min", "estimated(ms)", "measured(ms)")
 		for _, p := range pts {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ursa/internal/services"
@@ -67,7 +68,13 @@ func RunDiurnal(opts Options) DiurnalResult {
 func (r DiurnalResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig.13 — %s under diurnal load (Ursa): per-minute RPS and CPU allocation\n", r.App)
-	for name, pts := range r.Services {
+	names := make([]string, 0, len(r.Services))
+	for name := range r.Services {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order would shuffle sections run to run
+	for _, name := range names {
+		pts := r.Services[name]
 		fmt.Fprintf(&b, "\n%s:\n%8s %10s %8s\n", name, "min", "rps", "cpus")
 		for _, p := range pts {
 			fmt.Fprintf(&b, "%8d %10.1f %8.1f\n", p.Minute, p.RPS, p.CPUs)

@@ -1,0 +1,248 @@
+// Package faults implements deterministic, seeded fault injection for the
+// simulated cluster — the chaos-engineering axis the paper's evaluation
+// never exercises. A Schedule declares what goes wrong and when: node
+// crash/recovery (capacity drains, resident replicas are evicted and the
+// manager must re-place them), replica crash-restart with a warm-up penalty,
+// CPU interference (a node's effective capacity degrades, slowing every
+// resident replica's processor-sharing rate), and per-edge RPC latency
+// injection / message drops.
+//
+// Determinism contract: with an empty Schedule, Start schedules zero events
+// and installs no hooks, so the run is byte-identical to one without an
+// Injector at all (the sim engine's FIFO tie-break is event-count
+// sensitive, so even a never-firing event would perturb same-time
+// orderings). With a non-empty schedule and a fixed seed, runs are exactly
+// reproducible: drop decisions draw from a dedicated named RNG stream that
+// leaves every other stream untouched.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/cluster"
+	"ursa/internal/services"
+	"ursa/internal/sim"
+)
+
+// NodeFail crashes a node at At: the node is marked down (Place skips it),
+// every resident replica is crash-evicted, and the app's OnEviction hook
+// fires so the manager can re-place. If For > 0 the node recovers at
+// At+For.
+type NodeFail struct {
+	Node string
+	At   sim.Time
+	For  sim.Time
+}
+
+// ReplicaCrash kills one active replica of a service at At (index Replica,
+// clamped into range). If RestartAfter > 0 a replacement starts that much
+// later, derated to WarmupFactor × nominal CPU for Warmup (cold start).
+type ReplicaCrash struct {
+	Service      string
+	At           sim.Time
+	Replica      int
+	RestartAfter sim.Time
+	Warmup       sim.Time
+	WarmupFactor float64
+}
+
+// Interference degrades a node's effective CPU speed to Factor × nominal
+// over [At, At+For) — co-located noisy neighbours, in the paper's terms a
+// CPU anomaly the detector should catch.
+type Interference struct {
+	Node   string
+	At     sim.Time
+	For    sim.Time
+	Factor float64
+}
+
+// NetFault injects per-edge RPC faults over [At, At+For): every resilient
+// send matching Src→Dst gains DelayMs of delivery latency and is dropped
+// with probability DropProb. Empty Src/Dst match any service. Only
+// resilient sends consult the injector; enable a ResiliencePolicy on the
+// app or drops will hang their callers (as they would a real unprotected
+// client).
+type NetFault struct {
+	Src      string
+	Dst      string
+	At       sim.Time
+	For      sim.Time
+	DelayMs  float64
+	DropProb float64
+}
+
+// Schedule declares a full fault scenario. Events firing at the same
+// instant execute in field-then-slice order (NodeFails first, then
+// ReplicaCrashes, then Interference) — the order is part of the scenario.
+type Schedule struct {
+	NodeFails      []NodeFail
+	ReplicaCrashes []ReplicaCrash
+	Interference   []Interference
+	NetFaults      []NetFault
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool {
+	return len(s.NodeFails) == 0 && len(s.ReplicaCrashes) == 0 &&
+		len(s.Interference) == 0 && len(s.NetFaults) == 0
+}
+
+// Record is one line of the injector's event log.
+type Record struct {
+	At     sim.Time
+	Detail string
+}
+
+// Injector wires a Schedule into a running app. Build with New, arm with
+// Start before injecting load.
+type Injector struct {
+	eng   *sim.Engine
+	app   *services.App
+	cl    *cluster.Cluster
+	sched Schedule
+	rng   *rand.Rand
+
+	// Records logs every fault event actually applied, in firing order.
+	Records []Record
+	// Evicted counts replicas crash-evicted by node failures and replica
+	// crashes; Dropped and Delayed count net-fault interceptions.
+	Evicted int
+	Dropped int
+	Delayed int
+}
+
+// New builds an injector. cl may be nil when the schedule contains no
+// node-level faults.
+func New(eng *sim.Engine, app *services.App, cl *cluster.Cluster, sched Schedule) *Injector {
+	return &Injector{eng: eng, app: app, cl: cl, sched: sched}
+}
+
+func (in *Injector) log(detail string, args ...any) {
+	in.Records = append(in.Records, Record{At: in.eng.Now(), Detail: fmt.Sprintf(detail, args...)})
+}
+
+// Start schedules every fault in the schedule. With an empty schedule it
+// does nothing at all — no events, no hooks — preserving byte-identity with
+// an injector-free run.
+func (in *Injector) Start() {
+	if in.sched.Empty() {
+		return
+	}
+	for _, f := range in.sched.NodeFails {
+		f := f
+		in.eng.At(f.At, func() { in.failNode(f) })
+	}
+	for _, f := range in.sched.ReplicaCrashes {
+		f := f
+		in.eng.At(f.At, func() { in.crashReplica(f) })
+	}
+	for _, f := range in.sched.Interference {
+		f := f
+		in.eng.At(f.At, func() { in.interfere(f) })
+	}
+	if len(in.sched.NetFaults) > 0 {
+		in.rng = in.eng.RNG("faults/net")
+		in.app.Net = in
+	}
+}
+
+func (in *Injector) node(name string) *cluster.Node {
+	if in.cl == nil {
+		panic("faults: node fault scheduled without a cluster")
+	}
+	n := in.cl.NodeByName(name)
+	if n == nil {
+		panic(fmt.Sprintf("faults: unknown node %q", name))
+	}
+	return n
+}
+
+func (in *Injector) failNode(f NodeFail) {
+	n := in.node(f.Node)
+	if n.Down() {
+		return
+	}
+	n.SetDown(true)
+	evs := in.app.EvictNode(n)
+	lost := 0
+	for _, ev := range evs {
+		lost += ev.Replicas
+	}
+	in.Evicted += lost
+	in.log("node %s down, %d replica(s) evicted", f.Node, lost)
+	if f.For > 0 {
+		in.eng.Schedule(f.For, func() {
+			n.SetDown(false)
+			in.log("node %s recovered", f.Node)
+		})
+	}
+}
+
+func (in *Injector) crashReplica(f ReplicaCrash) {
+	svc := in.app.Service(f.Service)
+	if svc == nil {
+		panic(fmt.Sprintf("faults: unknown service %q", f.Service))
+	}
+	idx := f.Replica
+	if n := svc.Replicas(); idx >= n {
+		idx = n - 1
+	}
+	if idx < 0 || !svc.CrashReplica(idx) {
+		return
+	}
+	in.Evicted++
+	in.log("replica %d of %s crashed", idx, f.Service)
+	if f.RestartAfter > 0 {
+		in.eng.Schedule(f.RestartAfter, func() {
+			if svc.AddReplicaWarm(f.WarmupFactor, f.Warmup) {
+				in.log("replica of %s restarted (warmup %v at %.0f%%)", f.Service, f.Warmup, f.WarmupFactor*100)
+			} else {
+				in.log("replica restart of %s unschedulable", f.Service)
+			}
+		})
+	}
+}
+
+func (in *Injector) interfere(f Interference) {
+	n := in.node(f.Node)
+	factor := f.Factor
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("faults: interference factor %v out of (0,1]", factor))
+	}
+	n.SetCPUFactor(factor)
+	in.app.RefreshNodeCPU(n)
+	in.log("node %s interference: cpu ×%.2f", f.Node, factor)
+	if f.For > 0 {
+		in.eng.Schedule(f.For, func() {
+			n.SetCPUFactor(1)
+			in.app.RefreshNodeCPU(n)
+			in.log("node %s interference cleared", f.Node)
+		})
+	}
+}
+
+// Intercept implements services.NetInjector: the first active matching rule
+// decides the edge's fate. Drop decisions draw from the injector's own RNG
+// stream, so they are seed-deterministic and perturb no other stream.
+func (in *Injector) Intercept(src, dst string) (sim.Time, bool) {
+	now := in.eng.Now()
+	for _, f := range in.sched.NetFaults {
+		if now < f.At || (f.For > 0 && now >= f.At+f.For) {
+			continue
+		}
+		if (f.Src != "" && f.Src != src) || (f.Dst != "" && f.Dst != dst) {
+			continue
+		}
+		if f.DropProb > 0 && in.rng.Float64() < f.DropProb {
+			in.Dropped++
+			return 0, true
+		}
+		if f.DelayMs > 0 {
+			in.Delayed++
+			return sim.Millis2Time(f.DelayMs), false
+		}
+		return 0, false
+	}
+	return 0, false
+}

@@ -2,6 +2,7 @@ package services
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"ursa/internal/cluster"
@@ -32,13 +33,31 @@ type App struct {
 	// Tracer, when non-nil, samples jobs and records per-service spans.
 	Tracer *trace.Tracer
 
+	// Net, when non-nil, intercepts inter-service RPC delivery (the fault
+	// injector's latency/drop hook). Set before injecting load.
+	Net NetInjector
+	// OnEviction, when non-nil, fires after replicas are crash-evicted
+	// (node failure or replica crash) so a manager can re-solve and
+	// re-place the lost capacity.
+	OnEviction func([]Eviction)
+
 	// E2E records end-to-end job latency (ms) per request class.
 	E2E *metrics.LatencyRecorder
-	// InjectedJobs / completedJobs count job starts and completions.
+	// InjectedJobs / completedJobs / failedJobs count job starts,
+	// completions, and terminal failures.
 	InjectedJobs  int
 	completedJobs int
+	failedJobs    int
 
+	res     *ResiliencePolicy
+	resRNG  *rand.Rand
 	sampler *sim.Ticker
+}
+
+// Eviction records replicas one service lost in a crash event.
+type Eviction struct {
+	Service  string
+	Replicas int
 }
 
 // NewApp validates the spec and deploys the application with its initial
@@ -121,6 +140,59 @@ func (a *App) ServiceNames() []string {
 // CompletedJobs reports how many jobs have fully finished.
 func (a *App) CompletedJobs() int { return a.completedJobs }
 
+// FailedJobs reports how many jobs terminally failed (a branch exhausted its
+// RPC retries or died with a crashed replica).
+func (a *App) FailedJobs() int { return a.failedJobs }
+
+// Availability reports completed/(completed+failed) jobs; 1 before any job
+// finishes.
+func (a *App) Availability() float64 {
+	total := a.completedJobs + a.failedJobs
+	if total == 0 {
+		return 1
+	}
+	return float64(a.completedJobs) / float64(total)
+}
+
+// EvictNode crash-evicts every replica resident on n, in spec order: work on
+// their CPUs is dropped, in-flight requests fail, service-level queues
+// survive, and placements are released. The OnEviction hook (if set) fires
+// once with the per-service counts. Marking the node down first is the
+// caller's job (fault injector).
+func (a *App) EvictNode(n *cluster.Node) []Eviction {
+	var evs []Eviction
+	for _, s := range a.ordered {
+		if released := s.evictOn(n); len(released) > 0 {
+			evs = append(evs, Eviction{Service: s.Name(), Replicas: len(released)})
+		}
+	}
+	a.notifyEviction(evs)
+	return evs
+}
+
+func (a *App) notifyEviction(evs []Eviction) {
+	if len(evs) > 0 && a.OnEviction != nil {
+		a.OnEviction(evs)
+	}
+}
+
+// RefreshNodeCPU re-derives the CPU limit of every replica resident on n (in
+// spec order), after the node's interference factor changed.
+func (a *App) RefreshNodeCPU(n *cluster.Node) {
+	for _, s := range a.ordered {
+		for _, r := range s.replicas {
+			if r.placement.Node == n {
+				r.applyCores()
+			}
+		}
+		for _, r := range s.draining {
+			if r.placement.Node == n {
+				r.applyCores()
+			}
+		}
+	}
+}
+
 // Inject starts one job of the given (non-derived) request class at its
 // entry service and returns the job.
 func (a *App) Inject(class string) *Job {
@@ -152,12 +224,13 @@ func (a *App) injectAt(svc *Service, class string) *Job {
 	}
 	a.InjectedJobs++
 	j.add()
-	svc.Enqueue(&Request{
+	entry := &Request{
 		Job:      j,
 		Class:    class,
 		Priority: j.Priority,
-		onDone:   j.branchDone,
-	})
+	}
+	entry.onDone = entry.jobBranchDone
+	svc.Enqueue(entry)
 	return j
 }
 

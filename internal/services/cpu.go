@@ -43,6 +43,7 @@ type cpuSched struct {
 	seq   uint64
 	last  sim.Time
 	next  sim.Event
+	dead  bool // killed by a crash: drops all work, accepts none
 
 	// completeFn is the bound onCompletion callback, created once: taking the
 	// method value inline in replan would allocate a fresh closure per event.
@@ -176,6 +177,11 @@ func (c *cpuSched) onCompletion() {
 // Run submits a CPU burst of `seconds` core-seconds; done fires when it has
 // received that much CPU time.
 func (c *cpuSched) Run(seconds float64, done func()) {
+	if c.dead {
+		// The replica crashed: the burst (and its continuation) dies with
+		// it. Callers recover via timeouts, never via this callback.
+		return
+	}
 	if seconds <= 0 {
 		// Zero-length work completes on the next event boundary to keep
 		// callback ordering sane.
@@ -194,10 +200,35 @@ func (c *cpuSched) Run(seconds float64, done func()) {
 	c.replan()
 }
 
+// kill crash-stops the scheduler: every active burst is dropped (its done
+// callback never fires) and the busy/capacity integrals freeze at zero from
+// this instant. Snapshot after killing to fold the integrals into the
+// service's retired accounting.
+func (c *cpuSched) kill() {
+	if c.dead {
+		return
+	}
+	c.advance()
+	c.dead = true
+	c.next.Cancel()
+	c.next = sim.Event{}
+	for i := range c.heap {
+		c.heap[i] = burst{} // release done closures
+	}
+	c.heap = c.heap[:0]
+	now := c.eng.Now()
+	c.busy.Set(now, 0)
+	c.capacity.Set(now, 0)
+	c.vnow = 0
+}
+
 // SetCores changes the CPU limit (throttling injection, vertical scaling).
 func (c *cpuSched) SetCores(cores float64) {
 	if cores <= 0 {
 		panic("services: SetCores needs cores > 0")
+	}
+	if c.dead {
+		return
 	}
 	c.advance()
 	c.cores = cores

@@ -1,0 +1,302 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/cluster"
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// twoTierSpec: frontend computes 5 ms then calls backend (10 ms) over
+// nested RPC; everything deterministic.
+func twoTierSpec() AppSpec {
+	return AppSpec{
+		Name: "two-tier",
+		Services: []ServiceSpec{
+			{
+				Name:            "frontend",
+				Threads:         4,
+				CPUs:            4,
+				InitialReplicas: 1,
+				Handlers: map[string][]Step{
+					"get": Seq(Compute{MeanMs: 5, CV: -1}, Call{Service: "backend", Mode: NestedRPC}),
+				},
+			},
+			{
+				Name:            "backend",
+				Threads:         4,
+				CPUs:            4,
+				InitialReplicas: 1,
+				Handlers: map[string][]Step{
+					"get": Seq(Compute{MeanMs: 10, CV: -1}),
+				},
+			},
+		},
+		Classes: []ClassSpec{{Name: "get", Entry: "frontend", SLAPercentile: 99, SLAMillis: 100}},
+	}
+}
+
+// dropNet drops the first N intercepted sends, then delivers cleanly.
+type dropNet struct {
+	dropFirst int
+	calls     int
+}
+
+func (f *dropNet) Intercept(src, dst string) (sim.Time, bool) {
+	f.calls++
+	return 0, f.calls <= f.dropFirst
+}
+
+// delayNet applies a fixed per-call delay sequence, then delivers cleanly.
+type delayNet struct {
+	delays []sim.Time
+	calls  int
+}
+
+func (f *delayNet) Intercept(src, dst string) (sim.Time, bool) {
+	f.calls++
+	if f.calls <= len(f.delays) {
+		return f.delays[f.calls-1], false
+	}
+	return 0, false
+}
+
+func TestRetryRecoversDroppedRPC(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, twoTierSpec())
+	app.SetResilience(ResiliencePolicy{TimeoutMs: 50, MaxRetries: 3, BackoffBaseMs: 10, BackoffMaxMs: 40, JitterFrac: 0.2})
+	app.Net = &dropNet{dropFirst: 1}
+	app.Inject("get")
+	eng.RunUntil(sim.Second)
+
+	if app.CompletedJobs() != 1 || app.FailedJobs() != 0 {
+		t.Fatalf("completed=%d failed=%d, want 1/0", app.CompletedJobs(), app.FailedJobs())
+	}
+	be := app.Service("backend")
+	if got := be.RPCRetries.Total(0, sim.Second); got != 1 {
+		t.Fatalf("retries = %v, want 1", got)
+	}
+	if got := be.RPCErrors.Total(0, sim.Second); got != 1 {
+		t.Fatalf("errors = %v, want 1", got)
+	}
+	if got := be.Availability(0, sim.Second); got != 0.5 {
+		t.Fatalf("availability = %v, want 0.5 (1 of 2 attempts failed)", got)
+	}
+	// Latency ≈ 5 ms compute + 50 ms timeout + ~10 ms backoff + 10 ms retry.
+	lat := app.E2E.Class("get").All()[0]
+	if lat < 65 || lat > 90 {
+		t.Fatalf("E2E latency %v ms, want ≈75 ms (timeout + backoff + retry)", lat)
+	}
+}
+
+func TestRetriesExhaustedFailJob(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, twoTierSpec())
+	app.SetResilience(ResiliencePolicy{TimeoutMs: 20, MaxRetries: 2, BackoffBaseMs: 5, BackoffMaxMs: 10, JitterFrac: 0})
+	app.Net = &dropNet{dropFirst: 1 << 30} // drop everything
+	app.Inject("get")
+	eng.RunUntil(sim.Second)
+
+	if app.CompletedJobs() != 0 || app.FailedJobs() != 1 {
+		t.Fatalf("completed=%d failed=%d, want 0/1", app.CompletedJobs(), app.FailedJobs())
+	}
+	if got := app.Availability(); got != 0 {
+		t.Fatalf("app availability = %v, want 0", got)
+	}
+	if rec := app.E2E.Class("get"); rec != nil && len(rec.All()) != 0 {
+		t.Fatalf("failed job produced %d E2E samples, want 0", len(rec.All()))
+	}
+	be := app.Service("backend")
+	if got := be.RPCAttempts.Total(0, sim.Second); got != 3 {
+		t.Fatalf("attempts = %v, want 3 (1 + 2 retries)", got)
+	}
+	if got := be.Availability(0, sim.Second); got != 0 {
+		t.Fatalf("backend availability = %v, want 0", got)
+	}
+}
+
+func TestDropWithoutTimeoutHangs(t *testing.T) {
+	// No resilience policy: a dropped message leaves the caller waiting
+	// forever, exactly like an unprotected client.
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, twoTierSpec())
+	app.Net = &dropNet{dropFirst: 1 << 30}
+	app.Inject("get")
+	eng.RunUntil(sim.Second)
+
+	if app.CompletedJobs()+app.FailedJobs() != 0 {
+		t.Fatalf("job settled (completed=%d failed=%d); a drop without timeout must hang",
+			app.CompletedJobs(), app.FailedJobs())
+	}
+	if got := app.Service("backend").RPCErrors.Total(0, sim.Second); got != 1 {
+		t.Fatalf("errors = %v, want 1 (the unrecoverable drop)", got)
+	}
+}
+
+func TestCrashReplicaFailsInflight(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, oneTierSpec(1))
+	app.Inject("get")
+	eng.RunUntil(5 * sim.Millisecond) // mid-burst (10 ms compute)
+	svc := app.Service("api")
+	var hook []Eviction
+	app.OnEviction = func(evs []Eviction) { hook = evs }
+	if !svc.CrashReplica(0) {
+		t.Fatal("CrashReplica(0) found nothing to kill")
+	}
+	eng.RunUntil(sim.Second)
+
+	if app.FailedJobs() != 1 || app.CompletedJobs() != 0 {
+		t.Fatalf("completed=%d failed=%d, want 0/1", app.CompletedJobs(), app.FailedJobs())
+	}
+	if svc.Replicas() != 0 {
+		t.Fatalf("replicas = %d, want 0 after crash", svc.Replicas())
+	}
+	if len(hook) != 1 || hook[0].Service != "api" || hook[0].Replicas != 1 {
+		t.Fatalf("OnEviction payload = %+v", hook)
+	}
+	if n := len(svc.RespTime.All()); n != 0 {
+		t.Fatalf("crashed request left %d tier latency samples, want 0", n)
+	}
+}
+
+func TestQueuedRequestsSurviveCrash(t *testing.T) {
+	spec := oneTierSpec(1)
+	spec.Services[0].Threads = 1 // second job must queue
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, spec)
+	app.Inject("get")
+	app.Inject("get")
+	eng.RunUntil(5 * sim.Millisecond)
+	svc := app.Service("api")
+	svc.CrashReplica(0)
+	if svc.QueueLen() != 1 {
+		t.Fatalf("queue len = %d after crash, want 1 (queued work survives)", svc.QueueLen())
+	}
+	svc.AddReplicaWarm(1, 0) // instant replacement
+	eng.RunUntil(sim.Second)
+
+	if app.CompletedJobs() != 1 || app.FailedJobs() != 1 {
+		t.Fatalf("completed=%d failed=%d, want 1/1", app.CompletedJobs(), app.FailedJobs())
+	}
+}
+
+func TestWarmReplicaRunsDerated(t *testing.T) {
+	eng := sim.NewEngine(1)
+	spec := oneTierSpec(1)
+	spec.Services[0].CPUs = 1 // one burst saturates the limit
+	app := MustNewApp(eng, spec)
+	svc := app.Service("api")
+	svc.CrashReplica(0)
+	// Replacement at 20% speed for 500 ms: the 10 ms burst takes 50 ms.
+	svc.AddReplicaWarm(0.2, 500*sim.Millisecond)
+	app.Inject("get")
+	eng.RunUntil(sim.Second) // past warmup
+	app.Inject("get")
+	eng.RunUntil(2 * sim.Second)
+
+	lats := app.E2E.Class("get").All()
+	if len(lats) != 2 {
+		t.Fatalf("completed %d jobs, want 2", len(lats))
+	}
+	if math.Abs(lats[0]-50) > 1e-6 {
+		t.Fatalf("warm-up latency = %v ms, want 50 ms (10 ms at 20%% speed)", lats[0])
+	}
+	if math.Abs(lats[1]-10) > 1e-6 {
+		t.Fatalf("post-warm-up latency = %v ms, want 10 ms", lats[1])
+	}
+}
+
+func TestEvictNodeFailsResidentsAndReleases(t *testing.T) {
+	cl := cluster.New(cluster.BestFit, 8, 8)
+	eng := sim.NewEngine(1)
+	app, err := NewAppOnCluster(eng, twoTierSpec(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BestFit packs both 4-CPU replicas onto node-0.
+	if cl.NodeByName("node-0").Used() != 8 {
+		t.Fatalf("node-0 used = %v, want 8", cl.NodeByName("node-0").Used())
+	}
+	evs := app.EvictNode(cl.NodeByName("node-0"))
+	if len(evs) != 2 || evs[0].Service != "frontend" || evs[1].Service != "backend" {
+		t.Fatalf("evictions = %+v", evs)
+	}
+	if cl.TotalUsed() != 0 {
+		t.Fatalf("cluster still holds %v CPUs after eviction", cl.TotalUsed())
+	}
+	if app.Service("frontend").Replicas() != 0 || app.Service("backend").Replicas() != 0 {
+		t.Fatal("evicted services still report replicas")
+	}
+}
+
+func TestAbandonedAttemptSpanExcludedFromCriticalPath(t *testing.T) {
+	// The first frontend→backend attempt is delayed past the timeout; the
+	// retry succeeds. The abandoned attempt still executes at the backend
+	// and lands a span inside the trace (the frontend's 200 ms tail keeps
+	// the job open) — that span must be flagged and must not inflate the
+	// backend's critical-path share.
+	spec := twoTierSpec()
+	spec.Services[0].Handlers["get"] = Seq(
+		Compute{MeanMs: 5, CV: -1},
+		Call{Service: "backend", Mode: NestedRPC},
+		Compute{MeanMs: 200, CV: -1},
+	)
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, spec)
+	app.Tracer = trace.NewTracer(1, 0)
+	app.SetResilience(ResiliencePolicy{TimeoutMs: 100, MaxRetries: 1, BackoffBaseMs: 10, BackoffMaxMs: 10, JitterFrac: 0})
+	app.Net = &delayNet{delays: []sim.Time{150 * sim.Millisecond}}
+	app.Inject("get")
+	eng.RunUntil(sim.Second)
+
+	if app.CompletedJobs() != 1 {
+		t.Fatalf("completed = %d, want 1", app.CompletedJobs())
+	}
+	traces := app.Tracer.Traces()
+	if len(traces) != 1 || !traces[0].Complete {
+		t.Fatalf("traces = %d (complete=%v), want 1 complete", len(traces), len(traces) == 1 && traces[0].Complete)
+	}
+	abandoned, backendSpans := 0, 0
+	for _, s := range traces[0].Spans {
+		if s.Service == "backend" {
+			backendSpans++
+			if s.Abandoned {
+				abandoned++
+			}
+		}
+	}
+	if backendSpans != 2 || abandoned != 1 {
+		t.Fatalf("backend spans = %d (abandoned %d), want 2 with 1 abandoned", backendSpans, abandoned)
+	}
+	// Critical path counts only the successful attempt: ≈10 ms, not ≈20.
+	bd := app.Tracer.CriticalBreakdown("get")
+	if ms := bd["backend"].Millis(); math.Abs(ms-10) > 1 {
+		t.Fatalf("backend critical share = %v ms, want ≈10 (abandoned span excluded)", ms)
+	}
+}
+
+func TestFailedJobTraceIncomplete(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := MustNewApp(eng, twoTierSpec())
+	app.Tracer = trace.NewTracer(1, 0)
+	app.SetResilience(ResiliencePolicy{TimeoutMs: 20, MaxRetries: 1, BackoffBaseMs: 5, BackoffMaxMs: 5, JitterFrac: 0})
+	app.Net = &dropNet{dropFirst: 1 << 30}
+	app.Inject("get")
+	eng.RunUntil(sim.Second)
+
+	traces := app.Tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	if traces[0].Complete {
+		t.Fatal("failed job's trace marked complete")
+	}
+	// The frontend span exists (its handler ran and aborted) and is
+	// flagged abandoned.
+	if len(traces[0].Spans) != 1 || !traces[0].Spans[0].Abandoned {
+		t.Fatalf("spans = %+v, want one abandoned frontend span", traces[0].Spans)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ursa/internal/cluster"
 	"ursa/internal/metrics"
 	"ursa/internal/sim"
 	"ursa/internal/trace"
@@ -47,6 +48,12 @@ type Service struct {
 	// AllocGauge tracks currently allocated CPUs across live replicas
 	// (active + draining), for the Fig. 12 allocation accounting.
 	AllocGauge *metrics.Gauge
+	// RPCAttempts / RPCErrors / RPCRetries count resilient-client activity
+	// against this service as the callee: delivery attempts, failures
+	// (timeouts, drops, aborted handlers), and scheduled retries.
+	RPCAttempts *metrics.CounterSeries
+	RPCErrors   *metrics.CounterSeries
+	RPCRetries  *metrics.CounterSeries
 
 	lastBusy, lastCap       float64
 	retiredBusy, retiredCap float64
@@ -65,6 +72,9 @@ func newService(app *App, spec ServiceSpec) *Service {
 		ArrivalsAll: metrics.NewCounterSeries(app.window),
 		UtilSamples: metrics.NewWindowed(app.window),
 		AllocGauge:  metrics.NewGauge(app.Eng.Now(), 0),
+		RPCAttempts: metrics.NewCounterSeries(app.window),
+		RPCErrors:   metrics.NewCounterSeries(app.window),
+		RPCRetries:  metrics.NewCounterSeries(app.window),
 	}
 	for i := 0; i < spec.InitialReplicas; i++ {
 		s.addReplica()
@@ -102,11 +112,33 @@ func (s *Service) addReplica() bool {
 			return false
 		}
 		r.placement = p
+		if p.Node.CPUFactor() != 1 {
+			r.applyCores() // land on a degraded node at its effective rate
+		}
 	}
 	s.replicas = append(s.replicas, r)
 	s.updateAlloc()
 	s.drainIngress() // window capacity grew
 	s.pump()
+	return true
+}
+
+// AddReplicaWarm activates one new replica that starts cold: its CPU runs at
+// factor × nominal for the warmup duration (cache fill, JIT, connection-pool
+// ramp), then restores. The fault injector's crash-restart path uses this.
+func (s *Service) AddReplicaWarm(factor float64, warmup sim.Time) bool {
+	if !s.addReplica() {
+		return false
+	}
+	r := s.replicas[len(s.replicas)-1]
+	if factor > 0 && factor < 1 && warmup > 0 {
+		r.warmFactor = factor
+		r.applyCores()
+		s.app.Eng.Schedule(warmup, func() {
+			r.warmFactor = 1
+			r.applyCores()
+		})
+	}
 	return true
 }
 
@@ -199,11 +231,111 @@ func (s *Service) SetCPUFactor(factor float64) {
 	}
 	s.cpuFactor = factor
 	for _, r := range s.replicas {
-		r.cpu.SetCores(s.spec.CPUs * factor)
+		r.applyCores()
 	}
 	for _, r := range s.draining {
-		r.cpu.SetCores(s.spec.CPUs * factor)
+		r.applyCores()
 	}
+}
+
+// CrashReplica crash-kills the idx-th active replica (no drain; in-flight
+// requests fail). It reports whether a replica was killed, and notifies the
+// app's OnEviction hook so a manager can re-place the lost capacity.
+func (s *Service) CrashReplica(idx int) bool {
+	if idx < 0 || idx >= len(s.replicas) {
+		return false
+	}
+	s.crashReplica(s.replicas[idx])
+	s.app.notifyEviction([]Eviction{{Service: s.spec.Name, Replicas: 1}})
+	return true
+}
+
+// evictOn crash-kills every replica resident on node n (active and
+// draining), returning the placements that were released.
+func (s *Service) evictOn(n *cluster.Node) []cluster.Placement {
+	var victims []*Replica
+	for _, r := range s.replicas {
+		if r.placement.Node == n {
+			victims = append(victims, r)
+		}
+	}
+	for _, r := range s.draining {
+		if r.placement.Node == n {
+			victims = append(victims, r)
+		}
+	}
+	var released []cluster.Placement
+	for _, r := range victims {
+		released = append(released, s.crashReplica(r))
+	}
+	return released
+}
+
+// crashReplica kills r instantly — the simulation analogue of a container
+// dying with its node. Work on its CPU is dropped, in-flight requests fail
+// (the connection reset a caller observes), requests still queued at the
+// service level survive for the remaining replicas, and the placement is
+// released back to the cluster.
+func (s *Service) crashReplica(r *Replica) cluster.Placement {
+	for i, a := range s.replicas {
+		if a == r {
+			s.replicas = append(s.replicas[:i], s.replicas[i+1:]...)
+			break
+		}
+	}
+	for i, d := range s.draining {
+		if d == r {
+			s.draining = append(s.draining[:i], s.draining[i+1:]...)
+			break
+		}
+	}
+	if s.rrNext >= len(s.replicas) {
+		s.rrNext = 0
+	}
+	if s.ingressRR >= len(s.replicas) {
+		s.ingressRR = 0
+	}
+	r.dead = true
+	r.retired = true // maybeRetire must never re-run retirement accounting
+	r.draining = false
+	r.cpu.kill()
+	busy, cap := r.cpu.snapshot()
+	s.retiredBusy += busy
+	s.retiredCap += cap
+	// Admission bursts running on this replica died with its CPU; return
+	// their flow-control slots so the ingress window doesn't leak.
+	s.ingressBusy -= r.ingressInflight
+	r.ingressInflight = 0
+	// Fail in-flight handlers. Iterate over a snapshot: finish untracks.
+	victims := append([]*Request(nil), r.inflight...)
+	for _, q := range victims {
+		if q.settled {
+			continue
+		}
+		q.Failed = true
+		q.abandoned = true
+		q.finish()
+	}
+	released := r.placement
+	if cl := s.app.Cluster; cl != nil {
+		cl.Release(r.placement)
+	}
+	r.placement = cluster.Placement{}
+	s.updateAlloc()
+	s.pump()
+	s.drainIngress()
+	return released
+}
+
+// Availability reports the fraction of resilient RPC attempts against this
+// service that succeeded over [from, to): 1 − errors/attempts. 1 when the
+// service saw no resilient attempts.
+func (s *Service) Availability(from, to sim.Time) float64 {
+	att := s.RPCAttempts.Total(from, to)
+	if att <= 0 {
+		return 1
+	}
+	return 1 - s.RPCErrors.Total(from, to)/att
 }
 
 type pendingSend struct {
@@ -227,7 +359,7 @@ func (s *Service) Send(r *Request, accepted func()) {
 		}
 		return
 	}
-	if s.ingressBusy < s.ingressCapacity() {
+	if s.ingressBusy < s.ingressCapacity() && s.hasIngressReplica() {
 		s.admit(r, accepted)
 		return
 	}
@@ -249,7 +381,9 @@ func (s *Service) IngressQueueLen() int { return s.ingressWait.len() }
 func (s *Service) admit(r *Request, accepted func()) {
 	s.ingressBusy++
 	rep := s.pickIngressReplica()
+	rep.ingressInflight++
 	rep.cpu.Run(s.spec.IngressCostMs/1e3, func() {
+		rep.ingressInflight--
 		s.ingressBusy--
 		s.Enqueue(r)
 		if accepted != nil {
@@ -277,10 +411,18 @@ func (s *Service) pickIngressReplica() *Replica {
 }
 
 func (s *Service) drainIngress() {
-	for s.ingressWait.len() > 0 && s.ingressBusy < s.ingressCapacity() {
+	for s.ingressWait.len() > 0 && s.ingressBusy < s.ingressCapacity() && s.hasIngressReplica() {
 		next := s.ingressWait.pop()
 		s.admit(next.req, next.accepted)
 	}
+}
+
+// hasIngressReplica reports whether any replica — active or draining — can
+// run ingress work. False only after a crash wiped the service out; ordinary
+// scale-in always keeps at least one live replica, so in fault-free runs
+// this never gates admission.
+func (s *Service) hasIngressReplica() bool {
+	return len(s.replicas) > 0 || len(s.draining) > 0
 }
 
 // Enqueue delivers a request to the service.
@@ -334,16 +476,24 @@ func (s *Service) start(rep *Replica, req *Request) {
 	}
 	rep.busyWorkers++
 	req.replica = rep
+	rep.track(req)
 	started := s.app.Eng.Now()
 	var wait sim.Time
-	s.app.runSteps(req, steps, &wait, func() {
-		now := s.app.Eng.Now()
-		resp := now - req.arrival - wait
-		if resp < 0 {
-			resp = 0
+	req.finish = func() {
+		if req.settled {
+			return // a crash already force-completed this request
 		}
-		s.RespTime.Add(now, resp.Millis())
-		s.RespByClass.Record(now, req.Class, resp.Millis())
+		req.settled = true
+		rep.untrack(req)
+		now := s.app.Eng.Now()
+		if !req.Failed {
+			resp := now - req.arrival - wait
+			if resp < 0 {
+				resp = 0
+			}
+			s.RespTime.Add(now, resp.Millis())
+			s.RespByClass.Record(now, req.Class, resp.Millis())
+		}
 		if tr := s.app.Tracer; tr != nil && req.Job != nil && req.Job.traceID != 0 {
 			tr.AddSpan(req.Job.traceID, trace.Span{
 				Service:        s.spec.Name,
@@ -352,6 +502,7 @@ func (s *Service) start(rep *Replica, req *Request) {
 				Started:        started,
 				Finished:       now,
 				DownstreamWait: wait,
+				Abandoned:      req.Failed || req.abandoned,
 			})
 		}
 		rep.busyWorkers--
@@ -360,7 +511,8 @@ func (s *Service) start(rep *Replica, req *Request) {
 		if req.onDone != nil {
 			req.onDone()
 		}
-	})
+	}
+	s.app.runSteps(req, steps, &wait, req.finish)
 }
 
 // CPUAccounting reports the service's cumulative CPU accounting: busy

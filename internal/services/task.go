@@ -19,12 +19,23 @@ type Job struct {
 	traceID     uint64
 	outstanding int
 	finished    bool
-	// Done, when non-nil, fires once when the job completes.
+	failed      bool
+	// Done, when non-nil, fires once when the job completes (even if it
+	// failed — check Failed).
 	Done func(j *Job, latency sim.Time)
 }
 
 // add registers one more outstanding branch.
 func (j *Job) add() { j.outstanding++ }
+
+// fail marks the job terminally failed: a branch exhausted its RPC retries
+// or died with a crashed replica. The job still completes when its last
+// branch retires, but is counted against availability instead of yielding an
+// E2E latency sample.
+func (j *Job) fail() { j.failed = true }
+
+// Failed reports whether the job terminally failed.
+func (j *Job) Failed() bool { return j.failed }
 
 // branchDone retires one branch and completes the job at zero.
 func (j *Job) branchDone() {
@@ -36,10 +47,17 @@ func (j *Job) branchDone() {
 		j.finished = true
 		now := j.app.Eng.Now()
 		lat := now - j.Start
-		j.app.E2E.Record(now, j.Class, lat.Millis())
-		j.app.completedJobs++
-		if j.app.Tracer != nil {
-			j.app.Tracer.EndJob(j.traceID, now)
+		if j.failed {
+			j.app.failedJobs++
+			if j.app.Tracer != nil {
+				j.app.Tracer.FailJob(j.traceID, now)
+			}
+		} else {
+			j.app.E2E.Record(now, j.Class, lat.Millis())
+			j.app.completedJobs++
+			if j.app.Tracer != nil {
+				j.app.Tracer.EndJob(j.traceID, now)
+			}
 		}
 		if j.Done != nil {
 			j.Done(j, lat)
@@ -53,20 +71,46 @@ type Request struct {
 	Class    string
 	Priority int
 
+	// Failed marks a terminally failed request: its handler aborted because
+	// a downstream call exhausted its retries, or its replica crashed.
+	Failed bool
+
 	arrival sim.Time
 	svc     *Service
 	replica *Replica
 	onDone  func()
+
+	// abandoned marks a request whose caller gave up waiting (timeout) or
+	// died; its span must not enter critical-path accounting.
+	abandoned bool
+	// settled guards finish against double completion (normal completion
+	// racing a crash).
+	settled bool
+	// slot is this request's index in its replica's inflight list.
+	slot int
+	// finish completes the handler: metrics, span, worker release, onDone.
+	// Stored so a crash can force-complete in-flight requests.
+	finish func()
+}
+
+// jobBranchDone completes one job branch, propagating a terminal failure of
+// this request to the job.
+func (r *Request) jobBranchDone() {
+	if r.Failed {
+		r.Job.fail()
+	}
+	r.Job.branchDone()
 }
 
 // runSteps executes handler steps sequentially; waitAcc accumulates time
 // spent blocked on nested-RPC responses (excluded from the tier's measured
 // response time, per Fig. 2's S0−R0 definition). done fires after the final
-// step.
+// step, or as soon as the request terminally fails (a downstream call out of
+// retries aborts the rest of the handler).
 func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func()) {
 	var step func(i int)
 	step = func(i int) {
-		if i == len(steps) {
+		if i == len(steps) || req.Failed {
 			done()
 			return
 		}
@@ -82,19 +126,27 @@ func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func(
 			}
 			switch st.Mode {
 			case NestedRPC:
-				// The response-wait clock starts at admission by the
-				// downstream ingress; send-blocking before that charges
-				// the caller's own response time (backpressure).
-				var t0 sim.Time
-				target.Send(&Request{
-					Job:      req.Job,
-					Class:    class,
-					Priority: req.Priority,
-					onDone: func() {
+				if a.res == nil && a.Net == nil {
+					// The response-wait clock starts at admission by the
+					// downstream ingress; send-blocking before that charges
+					// the caller's own response time (backpressure).
+					var t0 sim.Time
+					rpc := &Request{
+						Job:      req.Job,
+						Class:    class,
+						Priority: req.Priority,
+					}
+					rpc.onDone = func() {
+						if rpc.Failed {
+							req.Failed = true
+						}
 						*waitAcc += a.Eng.Now() - t0
 						step(i + 1)
-					},
-				}, func() { t0 = a.Eng.Now() })
+					}
+					target.Send(rpc, func() { t0 = a.Eng.Now() })
+				} else {
+					a.callNested(req, target, class, waitAcc, func() { step(i + 1) })
+				}
 			case EventRPC:
 				// Block the worker until a daemon slot is granted, then
 				// respond immediately while the daemon performs the send
@@ -102,25 +154,31 @@ func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func(
 				// the response.
 				req.replica.acquireDaemon(func(release func()) {
 					req.Job.add()
-					target.Send(&Request{
-						Job:      req.Job,
-						Class:    class,
-						Priority: req.Priority,
-						onDone: func() {
+					if a.res == nil && a.Net == nil {
+						rpc := &Request{
+							Job:      req.Job,
+							Class:    class,
+							Priority: req.Priority,
+						}
+						rpc.onDone = func() {
 							release()
-							req.Job.branchDone()
-						},
-					}, nil)
+							rpc.jobBranchDone()
+						}
+						target.Send(rpc, nil)
+					} else {
+						a.sendEvent(req, target, class, release)
+					}
 					step(i + 1)
 				})
 			case MQ:
 				req.Job.add()
-				target.Enqueue(&Request{
+				mq := &Request{
 					Job:      req.Job,
 					Class:    class,
 					Priority: req.Priority,
-					onDone:   req.Job.branchDone,
-				})
+				}
+				mq.onDone = mq.jobBranchDone
+				target.Enqueue(mq)
 				step(i + 1)
 			default:
 				panic(fmt.Sprintf("services: unknown call mode %v", st.Mode))

@@ -27,6 +27,11 @@ type Span struct {
 	Finished sim.Time
 	// DownstreamWait is time blocked awaiting nested-RPC responses.
 	DownstreamWait sim.Time
+	// Abandoned marks a span whose caller gave up on it (RPC timeout) or
+	// whose request terminally failed (crash, exhausted retries). Abandoned
+	// spans carry no meaningful S0−R0 and are excluded from critical-path
+	// accounting.
+	Abandoned bool
 }
 
 // QueueWait is the time spent waiting for a worker.
@@ -69,6 +74,9 @@ func (t *Trace) Latency() sim.Time { return t.End - t.Start }
 func (t *Trace) CriticalService() (string, sim.Time) {
 	byService := map[string]sim.Time{}
 	for _, s := range t.Spans {
+		if s.Abandoned {
+			continue
+		}
 		byService[s.Service] += s.ResponseTime()
 	}
 	bestSvc, bestT := "", sim.Time(-1)
@@ -141,7 +149,14 @@ func (tr *Tracer) AddSpan(id uint64, s Span) {
 }
 
 // EndJob completes a trace.
-func (tr *Tracer) EndJob(id uint64, now sim.Time) {
+func (tr *Tracer) EndJob(id uint64, now sim.Time) { tr.finishJob(id, now, true) }
+
+// FailJob closes the trace of a terminally failed job. The trace is retained
+// for analysis but marked incomplete — some spans never happened, others are
+// abandoned attempts.
+func (tr *Tracer) FailJob(id uint64, now sim.Time) { tr.finishJob(id, now, false) }
+
+func (tr *Tracer) finishJob(id uint64, now sim.Time, complete bool) {
 	if id == 0 {
 		return
 	}
@@ -151,7 +166,7 @@ func (tr *Tracer) EndJob(id uint64, now sim.Time) {
 	}
 	delete(tr.open, id)
 	t.End = now
-	t.Complete = true
+	t.Complete = complete
 	tr.done = append(tr.done, t)
 	if tr.Cap > 0 && len(tr.done) > tr.Cap {
 		tr.done = append([]*Trace(nil), tr.done[len(tr.done)-tr.Cap:]...)
@@ -196,6 +211,9 @@ func (tr *Tracer) CriticalBreakdown(class string) map[string]sim.Time {
 			continue
 		}
 		for _, s := range t.Spans {
+			if s.Abandoned {
+				continue
+			}
 			out[s.Service] += s.ResponseTime()
 		}
 	}

@@ -115,3 +115,44 @@ func TestUnsampledOpsAreNoops(t *testing.T) {
 		t.Fatal("noop ops created traces")
 	}
 }
+
+func TestFailJobMarksTraceIncomplete(t *testing.T) {
+	tr := NewTracer(1, 0)
+	id := tr.StartJob("c", 0)
+	tr.AddSpan(id, span("a", 0, 0, 10*sim.Millisecond, 0))
+	tr.FailJob(id, 10*sim.Millisecond)
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("traces = %d, want 1", len(got))
+	}
+	if got[0].Complete {
+		t.Fatal("failed trace marked complete")
+	}
+	if got[0].End != 10*sim.Millisecond {
+		t.Fatalf("end = %v", got[0].End)
+	}
+	if tr.FailJob(999, 0); len(tr.Traces()) != 1 {
+		t.Fatal("failing an unknown job created a trace")
+	}
+}
+
+func TestCriticalPathSkipsAbandonedSpans(t *testing.T) {
+	tr := NewTracer(1, 0)
+	id := tr.StartJob("c", 0)
+	// An abandoned retry attempt with a huge S0−R0 must not dominate.
+	ab := span("a", 0, 0, 100*sim.Millisecond, 0)
+	ab.Abandoned = true
+	tr.AddSpan(id, ab)
+	tr.AddSpan(id, span("b", 0, 0, 30*sim.Millisecond, 0))
+	tr.AddSpan(id, span("a", 0, 0, 20*sim.Millisecond, 0))
+	tr.EndJob(id, 100*sim.Millisecond)
+
+	svc, tot := tr.Traces()[0].CriticalService()
+	if svc != "b" || tot != 30*sim.Millisecond {
+		t.Fatalf("critical = %s/%v, want b/30ms (abandoned span excluded)", svc, tot)
+	}
+	bd := tr.CriticalBreakdown("c")
+	if bd["a"] != 20*sim.Millisecond || bd["b"] != 30*sim.Millisecond {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
