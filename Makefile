@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry clean
 
 all: check
 
@@ -50,6 +50,16 @@ bench-decision:
 # path — crash-eviction, manager re-placement, retries — executes end to end.
 bench-resilience:
 	$(GO) test -run '^$$' -bench 'BenchmarkResilience' -benchtime=1x ./internal/experiments
+
+# bench-telemetry runs the bounded-memory telemetry benchmarks: quantile
+# sketch add/merge/query ns/op plus the headline bytes/window comparison
+# between exact (raw-sample) and sketch-backed windows. Diff
+# BENCH_telemetry.json to spot sketch ingest regressions or memory growth.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkSketch|BenchmarkWindowedSketch|BenchmarkTelemetry' \
+		-benchmem ./internal/stats ./internal/metrics \
+		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+	@echo wrote BENCH_telemetry.json
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,9 @@ type Result struct {
 	// headline number, not an absent measurement.
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom units emitted via b.ReportMetric (e.g. the
+	// telemetry benchmarks' "bytes/window"), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -66,13 +69,21 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units pass through by name.
+			if strings.Contains(unit, "/") {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
 		}
 	}
 	if r.NsPerOp == 0 && r.Iterations == 0 {

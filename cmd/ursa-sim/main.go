@@ -27,9 +27,10 @@ import (
 	"ursa/internal/cluster"
 	"ursa/internal/experiments"
 	"ursa/internal/faults"
+	"ursa/internal/metrics"
 	"ursa/internal/services"
 	"ursa/internal/sim"
-	"ursa/internal/stats"
+	"ursa/internal/trace"
 	"ursa/internal/workload"
 )
 
@@ -51,6 +52,13 @@ func main() {
 		failAt     = flag.Float64("fail-at", 10, "minutes after warm-up at which the node fails")
 		failFor    = flag.Float64("fail-for", 5, "minutes until the failed node recovers (0 = never)")
 		resilience = flag.Bool("resilience", false, "enable client-side RPC timeouts and retries")
+
+		telemetry   = flag.String("telemetry", "exact", "latency collectors: exact (raw samples) | sketch (bounded-error quantile sketches, flat memory)")
+		sketchAlpha = flag.Float64("sketch-alpha", 0.01, "relative-error bound for -telemetry sketch")
+		retention   = flag.Int("retention", 0, "trim telemetry windows older than this many minutes (0 = keep everything)")
+		traceOut    = flag.String("trace-out", "", "stream sampled request traces to this file as OTLP-style JSONL spans")
+		traceSample = flag.Int("trace-sample", 20, "with -trace-out, trace one of every N jobs")
+		metricsOut  = flag.String("metrics-out", "", "write retained per-window latency/arrival metrics to this file as OTLP-style JSONL summary points")
 	)
 	flag.Parse()
 
@@ -120,34 +128,54 @@ func main() {
 		fatalf("unknown load %q", *load)
 	}
 
+	tc := services.TelemetryConfig{Retention: sim.Time(*retention) * sim.Minute}
+	switch *telemetry {
+	case "exact":
+	case "sketch":
+		tc.SketchAlpha = *sketchAlpha
+	default:
+		fatalf("unknown telemetry mode %q (want exact|sketch)", *telemetry)
+	}
+
 	eng := sim.NewEngine(*seed)
 	warm := 2 * sim.Minute
 	var (
 		app *services.App
 		err error
 		in  *faults.Injector
+		cl  *cluster.Cluster
 	)
 	if *failNode != "" {
 		// Node faults need real placements to evict: bind to the testbed.
-		cl := cluster.PaperTestbed()
+		cl = cluster.PaperTestbed()
 		if cl.NodeByName(*failNode) == nil {
 			fatalf("unknown node %q (testbed has node-0 … node-7)", *failNode)
 		}
-		app, err = services.NewAppOnCluster(eng, c.Spec, cl)
-		if err != nil {
-			fatalf("deploy: %v", err)
-		}
+	}
+	app, err = services.NewAppTelemetry(eng, c.Spec, 0, cl, tc)
+	if err != nil {
+		fatalf("deploy: %v", err)
+	}
+	if cl != nil {
 		in = faults.New(eng, app, cl, faults.Schedule{NodeFails: []faults.NodeFail{{
 			Node: *failNode,
 			At:   warm + sim.Time(*failAt*float64(sim.Minute)),
 			For:  sim.Time(*failFor * float64(sim.Minute)),
 		}}})
 		in.Start()
-	} else {
-		app, err = services.NewApp(eng, c.Spec)
+	}
+
+	var spanFile *os.File
+	var spanW *trace.SpanWriter
+	if *traceOut != "" {
+		spanFile, err = os.Create(*traceOut)
 		if err != nil {
-			fatalf("deploy: %v", err)
+			fatalf("%v", err)
 		}
+		tr := trace.NewTracer(*traceSample, 1) // stream, don't retain
+		spanW = trace.NewSpanWriter(spanFile)
+		tr.Exporter = spanW.ExportTrace
+		app.Tracer = tr
 	}
 	if *resilience {
 		app.SetResilience(services.ResiliencePolicy{})
@@ -166,6 +194,22 @@ func main() {
 	if mgr != nil {
 		mgr.Detach()
 	}
+	if spanW != nil {
+		// Close out jobs still in flight (or abandoned by faults) as
+		// incomplete traces so the export captures them too.
+		app.Tracer.FlushOpen(eng.Now())
+		if err := spanW.Flush(); err != nil {
+			fatalf("writing %s: %v", *traceOut, err)
+		}
+		if err := spanFile.Close(); err != nil {
+			fatalf("closing %s: %v", *traceOut, err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, app, c.Spec); err != nil {
+			fatalf("writing %s: %v", *metricsOut, err)
+		}
+	}
 
 	fmt.Printf("\n%s under %s (%s load, %d min):\n\n", c.Name, *system, *load, *minutes)
 	fmt.Printf("%-22s %10s %12s %10s\n", "class", "SLA(ms)", "pXX(ms)", "violated")
@@ -180,12 +224,11 @@ func main() {
 		// violation denominator (same rule as the experiment harness).
 		tw, vw := 0, 0
 		for w := warm; w+sim.Minute <= warm+dur; w += sim.Minute {
-			vals := rec.Between(w, w+sim.Minute)
-			if len(vals) == 0 {
+			if rec.Count(w, w+sim.Minute) == 0 {
 				continue
 			}
 			tw++
-			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+			if rec.PercentileBetween(w, w+sim.Minute, cs.SLAPercentile) > cs.SLAMillis {
 				vw++
 			}
 		}
@@ -219,6 +262,33 @@ func main() {
 			fmt.Printf("  %-12v %s\n", rec.At, rec.Detail)
 		}
 	}
+}
+
+// writeMetrics dumps every retained telemetry window as OTLP-style JSONL
+// summary points: end-to-end latency per class, per-service response time,
+// and per-service arrival counts.
+func writeMetrics(path string, app *services.App, spec services.AppSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	qs := []float64{50, 90, 99}
+	var pts []metrics.MetricPoint
+	for _, class := range app.E2E.Classes() {
+		pts = append(pts, metrics.WindowPoints("ursa.e2e.latency",
+			[]metrics.KV{{Key: "class", Value: class}}, app.E2E.Class(class), qs)...)
+	}
+	for _, name := range app.ServiceNames() {
+		svc := app.Service(name)
+		attrs := []metrics.KV{{Key: "service", Value: name}}
+		pts = append(pts, metrics.WindowPoints("ursa.service.resptime", attrs, svc.RespTime, qs)...)
+		pts = append(pts, metrics.CounterPoints("ursa.service.arrivals", attrs, svc.ArrivalsAll)...)
+	}
+	if err := metrics.WritePoints(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -5,7 +5,6 @@ import (
 
 	"ursa/internal/services"
 	"ursa/internal/sim"
-	"ursa/internal/stats"
 )
 
 // nowWall reports wall-clock seconds; control-plane latency accounting
@@ -144,12 +143,11 @@ func (d *Detector) checkLatency(now, from sim.Time) {
 		}
 		total, violated := 0, 0
 		for w := from; w < now; w += window {
-			vals := rec.Between(w, w+window)
-			if len(vals) == 0 {
+			if rec.Count(w, w+window) == 0 {
 				continue
 			}
 			total++
-			if stats.Percentile(vals, tgt.Percentile) > tgt.TargetMs {
+			if rec.PercentileBetween(w, w+window, tgt.Percentile) > tgt.TargetMs {
 				violated++
 			}
 		}

@@ -328,8 +328,8 @@ func (e *Explorer) slaViolationFreq(app *services.App, classes []services.ClassS
 			}
 		}
 		if pooled {
-			vals := rec.Between(start, end)
-			if len(vals) >= minSamples && stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+			if rec.Count(start, end) >= minSamples &&
+				rec.PercentileBetween(start, end, cs.SLAPercentile) > cs.SLAMillis {
 				for w := start; w < end; w += window {
 					violatedWindows[w] = true
 				}
@@ -337,8 +337,7 @@ func (e *Explorer) slaViolationFreq(app *services.App, classes []services.ClassS
 			continue
 		}
 		for w := start; w < end; w += window {
-			vals := rec.Between(w, w+window)
-			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+			if rec.PercentileBetween(w, w+window, cs.SLAPercentile) > cs.SLAMillis {
 				violatedWindows[w] = true
 			}
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"ursa/internal/services"
@@ -50,6 +51,14 @@ func RunBackpressure(opts Options) BackpressureResult {
 		for tier := 1; tier <= 5; tier++ {
 			svc := app.Service(topology.ChainTier(tier))
 			grid[tier-1] = svc.RespTime.PerWindowPercentile(minutes*sim.Minute, 99)
+			// The rendered heat-map and Inflation averages treat a minute with
+			// no completions as 0 ms (a starved tier reads as cold, exactly as
+			// before); the NaN marker matters to live monitoring, not here.
+			for m, v := range grid[tier-1] {
+				if math.IsNaN(v) {
+					grid[tier-1][m] = 0
+				}
+			}
 		}
 		grids[i] = grid
 	})

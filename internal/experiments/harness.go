@@ -23,7 +23,6 @@ import (
 	"ursa/internal/core"
 	"ursa/internal/services"
 	"ursa/internal/sim"
-	"ursa/internal/stats"
 	"ursa/internal/topology"
 	"ursa/internal/workload"
 )
@@ -387,12 +386,11 @@ func violationRate(app *services.App, spec services.AppSpec, from, to sim.Time) 
 			continue
 		}
 		for w := from; w+sim.Minute <= to; w += sim.Minute {
-			vals := rec.Between(w, w+sim.Minute)
-			if len(vals) == 0 {
+			if rec.Count(w, w+sim.Minute) == 0 {
 				continue
 			}
 			total++
-			if stats.Percentile(vals, cs.SLAPercentile) > cs.SLAMillis {
+			if rec.PercentileBetween(w, w+sim.Minute, cs.SLAPercentile) > cs.SLAMillis {
 				violated++
 			}
 		}

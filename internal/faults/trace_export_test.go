@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// TestFaultRunSpanExportRoundTrip pins the acceptance path: a run with a
+// mid-flight replica crash streams its spans as JSONL, the stream decodes,
+// and the job caught by the crash comes back as an incomplete trace with
+// its abandoned span intact.
+func TestFaultRunSpanExportRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	app := services.MustNewApp(eng, testSpec())
+	app.SetResilience(services.ResiliencePolicy{MaxRetries: 1})
+
+	var buf bytes.Buffer
+	sw := trace.NewSpanWriter(&buf)
+	tr := trace.NewTracer(1, 0)
+	tr.Exporter = sw.ExportTrace
+	app.Tracer = tr
+
+	in := New(eng, app, nil, Schedule{
+		ReplicaCrashes: []ReplicaCrash{{
+			Service: "backend",
+			At:      12 * sim.Millisecond, // mid-handler for the first job
+			// No restart: retries exhaust and the job terminally fails.
+		}},
+	})
+	in.Start()
+
+	app.Inject("get") // enters backend at ~5 ms, dies in the crash
+	eng.RunUntil(5 * sim.Second)
+	tr.FlushOpen(eng.Now())
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := trace.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := trace.DecodeSpans(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("decoded %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Complete {
+		t.Fatal("crash-killed job decoded as complete")
+	}
+	abandoned := false
+	for _, s := range got.Spans {
+		if s.Abandoned {
+			abandoned = true
+		}
+	}
+	if !abandoned {
+		t.Fatalf("no abandoned span survived the round trip: %+v", got.Spans)
+	}
+	// And the decoded trace matches what the tracer retained in memory.
+	mem := tr.Traces()[0]
+	if got.JobID != mem.JobID || got.Start != mem.Start || got.End != mem.End ||
+		len(got.Spans) != len(mem.Spans) {
+		t.Fatalf("decoded trace diverges from retained one:\nmem  %+v\nback %+v", mem, got)
+	}
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"ursa/internal/sim"
+)
+
+// Metrics export mirrors the OTLP/JSON Summary shape, one data point per
+// line (JSONL): every retained window of a collector becomes a point with
+// its count and a set of quantile values. Exact and sketch collectors
+// export identically — the sketch's bounded-error quantiles drop into the
+// same quantileValues field real monitoring backends ingest.
+
+// KV is a string attribute on an exported metric point.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// QuantileValue is one quantile of a Summary point; Quantile is in [0, 1]
+// per OTLP convention.
+type QuantileValue struct {
+	Quantile float64 `json:"quantile"`
+	Value    float64 `json:"value"`
+}
+
+// MetricPoint is one exported window of one series.
+type MetricPoint struct {
+	Name              string          `json:"name"`
+	Attributes        []KV            `json:"attributes,omitempty"`
+	StartTimeUnixNano string          `json:"startTimeUnixNano"`
+	TimeUnixNano      string          `json:"timeUnixNano"`
+	Count             int64           `json:"count"`
+	Sum               float64         `json:"sum,omitempty"`
+	QuantileValues    []QuantileValue `json:"quantileValues,omitempty"`
+}
+
+// WindowPoints renders every retained window of w as Summary points named
+// name, tagged attrs, reporting the given percentiles (0–100 scale, encoded
+// as OTLP [0,1] quantiles). Windows a retention policy already trimmed are
+// gone by construction; empty windows never exist in a collector.
+func WindowPoints(name string, attrs []KV, w *Windowed, percentiles []float64) []MetricPoint {
+	out := make([]MetricPoint, 0, w.NumWindows())
+	for i := 0; i < w.NumWindows(); i++ {
+		start := w.WindowStartAt(i)
+		pt := MetricPoint{
+			Name:              name,
+			Attributes:        attrs,
+			StartTimeUnixNano: strconv.FormatInt(int64(start), 10),
+			TimeUnixNano:      strconv.FormatInt(int64(start+w.Window()), 10),
+			Count:             int64(w.WindowCountAt(i)),
+		}
+		for _, p := range percentiles {
+			v := w.WindowQuantileAt(i, p)
+			if math.IsNaN(v) {
+				continue
+			}
+			pt.QuantileValues = append(pt.QuantileValues, QuantileValue{Quantile: p / 100, Value: v})
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// CounterPoints renders every retained window of c as count-only points.
+func CounterPoints(name string, attrs []KV, c *CounterSeries) []MetricPoint {
+	out := make([]MetricPoint, 0, len(c.start)-c.head)
+	for i := c.head; i < len(c.start); i++ {
+		out = append(out, MetricPoint{
+			Name:              name,
+			Attributes:        attrs,
+			StartTimeUnixNano: strconv.FormatInt(int64(c.start[i]), 10),
+			TimeUnixNano:      strconv.FormatInt(int64(c.start[i]+c.window), 10),
+			Count:             int64(c.counts[i]),
+			Sum:               c.counts[i],
+		})
+	}
+	return out
+}
+
+// WritePoints streams points to w as JSONL.
+func WritePoints(w io.Writer, pts []MetricPoint) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range pts {
+		if err := enc.Encode(&pts[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses a JSONL metric stream back into points, tolerating
+// blank lines.
+func ReadPoints(r io.Reader) ([]MetricPoint, error) {
+	var out []MetricPoint
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var pt MetricPoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			return nil, fmt.Errorf("metrics: bad point line %q: %w", sc.Text(), err)
+		}
+		out = append(out, pt)
+	}
+	return out, sc.Err()
+}
+
+// TimeRange reports the decoded [start, end) of a point.
+func (pt *MetricPoint) TimeRange() (sim.Time, sim.Time, error) {
+	s, err1 := strconv.ParseInt(pt.StartTimeUnixNano, 10, 64)
+	e, err2 := strconv.ParseInt(pt.TimeUnixNano, 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("metrics: bad point timestamps %q/%q", pt.StartTimeUnixNano, pt.TimeUnixNano)
+	}
+	return sim.Time(s), sim.Time(e), nil
+}

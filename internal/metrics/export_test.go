@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+// TestMetricPointsRoundTrip: per-window Summary points survive the JSONL
+// encode/decode cycle with their windows, counts, and quantiles intact —
+// for both exact and sketch collectors.
+func TestMetricPointsRoundTrip(t *testing.T) {
+	for _, mode := range []string{"exact", "sketch"} {
+		var w *Windowed
+		if mode == "sketch" {
+			w = NewWindowedSketch(sim.Minute, 0.01)
+		} else {
+			w = NewWindowed(sim.Minute)
+		}
+		for i := 0; i < 300; i++ {
+			w.Add(sim.Time(i)*sim.Second, float64(10+i%50))
+		}
+		attrs := []KV{{Key: "service", Value: "api"}, {Key: "class", Value: "get"}}
+		pts := WindowPoints("ursa.latency", attrs, w, []float64{50, 99})
+		if len(pts) != w.NumWindows() {
+			t.Fatalf("%s: %d points for %d windows", mode, len(pts), w.NumWindows())
+		}
+
+		var buf bytes.Buffer
+		if err := WritePoints(&buf, pts); err != nil {
+			t.Fatal(err)
+		}
+		if n := strings.Count(buf.String(), "\n"); n != len(pts) {
+			t.Fatalf("%s: %d JSONL lines for %d points", mode, n, len(pts))
+		}
+		back, err := ReadPoints(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		for i := range back {
+			from, to, err := back[i].TimeRange()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if to-from != sim.Minute {
+				t.Fatalf("%s: window span %v", mode, to-from)
+			}
+			if back[i].Count != pts[i].Count || len(back[i].QuantileValues) != 2 {
+				t.Fatalf("%s: point %d did not round-trip: %+v", mode, i, back[i])
+			}
+			if q := back[i].QuantileValues[1]; q.Quantile != 0.99 || q.Value != pts[i].QuantileValues[1].Value {
+				t.Fatalf("%s: quantile mismatch %+v", mode, q)
+			}
+			if back[i].Attributes[0].Value != "api" {
+				t.Fatalf("%s: attributes lost", mode)
+			}
+			total += back[i].Count
+		}
+		if total != 300 {
+			t.Fatalf("%s: decoded counts sum to %d, want 300", mode, total)
+		}
+	}
+}
+
+// TestCounterPointsExport: counter windows export with their counts.
+func TestCounterPointsExport(t *testing.T) {
+	c := NewCounterSeries(sim.Minute)
+	for i := 0; i < 180; i++ {
+		c.Inc(sim.Time(i)*sim.Second, 1)
+	}
+	pts := CounterPoints("ursa.arrivals", nil, c)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Count != 60 || pt.Sum != 60 {
+			t.Fatalf("point = %+v, want count 60", pt)
+		}
+	}
+}

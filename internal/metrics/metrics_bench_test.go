@@ -45,3 +45,55 @@ func BenchmarkWindowedCount(b *testing.B) {
 		w.Count(from, to)
 	}
 }
+
+// benchWindowedSketch mirrors benchWindowed in sketch mode.
+func benchWindowedSketch(windows, perWindow int) *Windowed {
+	w := NewWindowedSketch(sim.Minute, 0.01)
+	for i := 0; i < windows; i++ {
+		t := sim.Time(i) * sim.Minute
+		for j := 0; j < perWindow; j++ {
+			w.Add(t+sim.Time(j), float64((i*perWindow+j)%997))
+		}
+	}
+	return w
+}
+
+// BenchmarkWindowedSketchPercentile measures the same 30-window SLA query
+// as BenchmarkWindowedPercentile, answered by merging per-window sketches
+// instead of quickselecting raw samples.
+func BenchmarkWindowedSketchPercentile(b *testing.B) {
+	w := benchWindowedSketch(480, 64)
+	from := 200 * sim.Minute
+	to := from + 30*sim.Minute
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.PercentileBetween(from, to, 99)
+	}
+}
+
+// BenchmarkTelemetryBytesPerWindowExact reports the steady-state memory per
+// window in exact mode: raw samples retained, so bytes/window scales with
+// per-window sample count. Paired with the sketch variant below it is the
+// headline number of BENCH_telemetry.json.
+func BenchmarkTelemetryBytesPerWindowExact(b *testing.B) {
+	w := benchWindowed(120, 512)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = w.FootprintBytes()
+	}
+	b.ReportMetric(float64(n)/float64(w.NumWindows()), "bytes/window")
+}
+
+// BenchmarkTelemetryBytesPerWindowSketch is the sketch-mode counterpart:
+// bytes/window is bounded by the bucket store regardless of samples seen.
+func BenchmarkTelemetryBytesPerWindowSketch(b *testing.B) {
+	w := benchWindowedSketch(120, 512)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = w.FootprintBytes()
+	}
+	b.ReportMetric(float64(n)/float64(w.NumWindows()), "bytes/window")
+}

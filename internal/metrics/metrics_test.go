@@ -51,8 +51,8 @@ func TestPerWindowPercentile(t *testing.T) {
 		w.Add(2*sim.Minute+sim.Time(i)*sim.Second, 30)
 	}
 	got := w.PerWindowPercentile(3*sim.Minute, 99)
-	if len(got) != 3 || got[0] != 10 || got[1] != 0 || got[2] != 30 {
-		t.Fatalf("PerWindowPercentile = %v", got)
+	if len(got) != 3 || got[0] != 10 || !math.IsNaN(got[1]) || got[2] != 30 {
+		t.Fatalf("PerWindowPercentile = %v (empty window must be NaN, not 0)", got)
 	}
 }
 

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ursa/internal/stats"
+)
+
+// Adversarial streams for P2Quantile: the degenerate shapes Jain/Chlamtac's
+// parabolic interpolation is known to stumble on — constant values (zero
+// marker spread), pre-sorted input (markers chase the head), heavy
+// duplication (ties break the strict marker ordering), and the n<5 / n=5
+// boundary where the estimator switches from exact to interpolated.
+
+func TestP2ConstantStream(t *testing.T) {
+	for _, q := range []float64{10, 50, 99} {
+		e := NewP2Quantile(q)
+		for i := 0; i < 10000; i++ {
+			e.Add(7.25)
+		}
+		if got := e.Value(); got != 7.25 {
+			t.Fatalf("q%v of constant stream = %v, want 7.25", q, got)
+		}
+	}
+}
+
+func TestP2PreSortedStream(t *testing.T) {
+	for _, q := range []float64{50, 90, 99} {
+		e := NewP2Quantile(q)
+		n := 50000
+		all := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := float64(i) // strictly increasing
+			e.Add(v)
+			all[i] = v
+		}
+		exact := stats.Percentile(all, q)
+		if rel := math.Abs(e.Value()-exact) / float64(n); rel > 0.02 {
+			t.Fatalf("q%v of sorted stream = %v vs exact %v (off by %.1f%% of range)",
+				q, e.Value(), exact, rel*100)
+		}
+	}
+}
+
+func TestP2ReverseSortedStream(t *testing.T) {
+	e := NewP2Quantile(50)
+	n := 50000
+	all := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(n - i)
+		e.Add(v)
+		all[i] = v
+	}
+	exact := stats.Percentile(all, 50)
+	if math.Abs(e.Value()-exact)/exact > 0.05 {
+		t.Fatalf("median of reverse-sorted stream = %v vs exact %v", e.Value(), exact)
+	}
+}
+
+func TestP2HeavyDuplicates(t *testing.T) {
+	// 90% of mass at 10, the rest spread: the markers sit in long runs of
+	// ties. The estimator must neither NaN nor escape the data range, and
+	// the median must land on the dominant value.
+	rng := rand.New(rand.NewSource(3))
+	e := NewP2Quantile(50)
+	var all []float64
+	for i := 0; i < 40000; i++ {
+		v := 10.0
+		if rng.Float64() > 0.9 {
+			v = 10 + rng.Float64()*100
+		}
+		e.Add(v)
+		all = append(all, v)
+	}
+	got := e.Value()
+	if math.IsNaN(got) || got < 10 || got > 110 {
+		t.Fatalf("duplicate-heavy median = %v, escaped data range", got)
+	}
+	if math.Abs(got-10) > 1 {
+		t.Fatalf("duplicate-heavy median = %v, want ≈10 (exact %v)", got, stats.Percentile(all, 50))
+	}
+}
+
+func TestP2TwoValueStream(t *testing.T) {
+	// Alternating two values: every marker update hits the tie/adjacent-
+	// marker guards. p90 of {0,0,…,100 every 10th} must stay in range.
+	e := NewP2Quantile(90)
+	var all []float64
+	for i := 0; i < 30000; i++ {
+		v := 0.0
+		if i%10 == 9 {
+			v = 100
+		}
+		e.Add(v)
+		all = append(all, v)
+	}
+	got := e.Value()
+	if got < 0 || got > 100 {
+		t.Fatalf("two-value p90 = %v, escaped [0, 100]", got)
+	}
+}
+
+// TestP2SmallNBoundaries pins the exact-fallback region (n < 5) and the
+// first interpolated estimate (n = 5) against stats.Percentile on every
+// permutation-ish ordering of a 5-element set.
+func TestP2SmallNBoundaries(t *testing.T) {
+	base := []float64{9, 1, 7, 3, 5}
+	for _, q := range []float64{25, 50, 75, 95} {
+		e := NewP2Quantile(q)
+		for n := 1; n <= len(base); n++ {
+			e.Add(base[n-1])
+			got := e.Value()
+			if n < 5 {
+				// Exact fallback region: must equal the exact percentile of
+				// what was added so far.
+				want := stats.Percentile(base[:n], q)
+				if got != want {
+					t.Fatalf("q%v n=%d: %v != exact %v", q, n, got, want)
+				}
+			} else {
+				// First P² estimate: markers were just initialised from the
+				// sorted first five, so the value is one of them and must
+				// bracket the exact percentile within the sample range.
+				if got < 1 || got > 9 {
+					t.Fatalf("q%v n=5: %v escaped [1, 9]", q, got)
+				}
+			}
+		}
+		if e.Count() != 5 {
+			t.Fatalf("count = %d", e.Count())
+		}
+	}
+}
+
+// TestP2MatchesExactAcrossSeeds: broad seeded sweep pinning P² against the
+// exact percentile on mixed streams — the promotion gate for using it as a
+// cheap single-quantile monitor.
+func TestP2MatchesExactAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := []float64{50, 90, 95, 99}[seed%4]
+		e := NewP2Quantile(q)
+		ln := stats.LogNormalFromMeanCV(50, 0.7)
+		var all []float64
+		for i := 0; i < 30000; i++ {
+			v := ln.Sample(rng)
+			e.Add(v)
+			all = append(all, v)
+		}
+		exact := stats.Percentile(all, q)
+		if math.Abs(e.Value()-exact)/exact > 0.08 {
+			t.Fatalf("seed %d q%v: P² %v vs exact %v", seed, q, e.Value(), exact)
+		}
+	}
+}

@@ -52,6 +52,8 @@ type App struct {
 	res     *ResiliencePolicy
 	resRNG  *rand.Rand
 	sampler *sim.Ticker
+
+	telemetry TelemetryConfig
 }
 
 // Eviction records replicas one service lost in a crash event.
@@ -81,6 +83,10 @@ func NewAppWindow(eng *sim.Engine, spec AppSpec, window sim.Time) (*App, error) 
 }
 
 func newApp(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster) (*App, error) {
+	return newAppTelemetry(eng, spec, window, cl, TelemetryConfig{})
+}
+
+func newAppTelemetry(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster, tc TelemetryConfig) (*App, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,13 +94,14 @@ func newApp(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster)
 		window = metrics.DefaultWindow
 	}
 	a := &App{
-		Eng:      eng,
-		Spec:     spec,
-		services: map[string]*Service{},
-		window:   window,
-		Cluster:  cl,
-		E2E:      metrics.NewLatencyRecorder(window),
+		Eng:       eng,
+		Spec:      spec,
+		services:  map[string]*Service{},
+		window:    window,
+		Cluster:   cl,
+		telemetry: tc,
 	}
+	a.E2E = a.newLatencyRecorder()
 	for _, ss := range spec.Services {
 		s := newService(a, ss)
 		a.services[ss.Name] = s
@@ -234,11 +241,16 @@ func (a *App) injectAt(svc *Service, class string) *Job {
 	return j
 }
 
-// sampleMetrics stores one utilisation sample per service per window.
+// sampleMetrics stores one utilisation sample per service per window, then
+// applies the retention policy (if any) so steady-state telemetry memory is
+// O(retained windows) regardless of run length.
 func (a *App) sampleMetrics() {
 	now := a.Eng.Now()
 	for _, s := range a.ordered {
 		s.UtilSamples.Add(now-1, s.sampleUtilization())
+	}
+	if a.telemetry.Retention > 0 && now > a.telemetry.Retention {
+		a.TrimTelemetry(now - a.telemetry.Retention)
 	}
 }
 

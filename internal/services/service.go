@@ -66,16 +66,17 @@ func newService(app *App, spec ServiceSpec) *Service {
 		spec:        spec,
 		rng:         app.Eng.RNG("svc/" + spec.Name),
 		cpuFactor:   1,
-		RespTime:    metrics.NewWindowed(app.window),
-		RespByClass: metrics.NewLatencyRecorder(app.window),
+		RespTime:    app.newWindowed(),
+		RespByClass: app.newLatencyRecorder(),
 		Arrivals:    map[string]*metrics.CounterSeries{},
-		ArrivalsAll: metrics.NewCounterSeries(app.window),
+		ArrivalsAll: app.newCounterSeries(),
 		UtilSamples: metrics.NewWindowed(app.window),
 		AllocGauge:  metrics.NewGauge(app.Eng.Now(), 0),
-		RPCAttempts: metrics.NewCounterSeries(app.window),
-		RPCErrors:   metrics.NewCounterSeries(app.window),
-		RPCRetries:  metrics.NewCounterSeries(app.window),
+		RPCAttempts: app.newCounterSeries(),
+		RPCErrors:   app.newCounterSeries(),
+		RPCRetries:  app.newCounterSeries(),
 	}
+	s.UtilSamples.SetMaxWindows(app.telemetry.MaxWindows)
 	for i := 0; i < spec.InitialReplicas; i++ {
 		s.addReplica()
 	}
@@ -432,7 +433,7 @@ func (s *Service) Enqueue(r *Request) {
 	r.svc = s
 	cs, ok := s.Arrivals[r.Class]
 	if !ok {
-		cs = metrics.NewCounterSeries(s.app.window)
+		cs = s.app.newCounterSeries()
 		s.Arrivals[r.Class] = cs
 	}
 	cs.Inc(now, 1)

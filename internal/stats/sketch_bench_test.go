@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSketch fills a sketch with a lognormal latency stream, the value
+// distribution the telemetry layer actually sees.
+func benchSketch(n int, seed int64) *Sketch {
+	rng := rand.New(rand.NewSource(seed))
+	ln := LogNormalFromMeanCV(80, 0.9)
+	s := NewSketch(0.01)
+	for i := 0; i < n; i++ {
+		s.Add(ln.Sample(rng))
+	}
+	return s
+}
+
+// BenchmarkSketchAdd measures the per-sample ingest cost of the bounded-
+// memory quantile sketch — the price every recorded latency pays in sketch
+// telemetry mode.
+func BenchmarkSketchAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ln := LogNormalFromMeanCV(80, 0.9)
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = ln.Sample(rng)
+	}
+	s := NewSketch(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vals[i&8191])
+	}
+}
+
+// BenchmarkSketchMerge measures merging one window sketch into another —
+// the inner loop of multi-window PercentileBetween in sketch mode.
+func BenchmarkSketchMerge(b *testing.B) {
+	src := benchSketch(20000, 2)
+	dst := NewSketch(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Reset()
+		dst.Merge(src)
+	}
+}
+
+// BenchmarkSketchQuantile measures a p99 query against a populated sketch.
+func BenchmarkSketchQuantile(b *testing.B) {
+	s := benchSketch(20000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(99)
+	}
+}

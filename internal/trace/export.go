@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ursa/internal/sim"
+)
+
+// Span export writes finished traces as OTLP-style JSON spans, one object
+// per line (JSONL), so real trace tooling — or a jq one-liner — can inspect
+// simulated incidents. Each trace emits a root span carrying the job-level
+// fields followed by one child span per service visit; IDs are hex strings
+// in OTLP's 16-byte trace / 8-byte span convention and nanosecond
+// timestamps are decimal strings, matching the OTLP/JSON encoding. The
+// mapping is lossless: DecodeSpans reconstructs the original Trace values.
+
+// SpanRecord is one exported span line.
+type SpanRecord struct {
+	TraceID           string       `json:"traceId"`
+	SpanID            string       `json:"spanId"`
+	ParentSpanID      string       `json:"parentSpanId,omitempty"`
+	Name              string       `json:"name"`
+	StartTimeUnixNano string       `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string       `json:"endTimeUnixNano"`
+	Attributes        []Attribute  `json:"attributes,omitempty"`
+	Status            StatusRecord `json:"status"`
+}
+
+// Attribute is an OTLP-style key/value pair.
+type Attribute struct {
+	Key   string         `json:"key"`
+	Value AttributeValue `json:"value"`
+}
+
+// AttributeValue holds exactly one of the OTLP scalar variants.
+type AttributeValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"` // int64 as decimal string, per OTLP/JSON
+	BoolValue   *bool   `json:"boolValue,omitempty"`
+}
+
+// StatusRecord mirrors OTLP span status: code 1 = OK, 2 = ERROR.
+type StatusRecord struct {
+	Code int `json:"code,omitempty"`
+}
+
+const (
+	statusOK    = 1
+	statusError = 2
+
+	attrJobID          = "ursa.job_id"
+	attrClass          = "ursa.class"
+	attrStartedNano    = "ursa.started_unix_nano"
+	attrDownstreamWait = "ursa.downstream_wait_ns"
+)
+
+func stringAttr(key, v string) Attribute {
+	return Attribute{Key: key, Value: AttributeValue{StringValue: &v}}
+}
+
+func intAttr(key string, v int64) Attribute {
+	s := strconv.FormatInt(v, 10)
+	return Attribute{Key: key, Value: AttributeValue{IntValue: &s}}
+}
+
+func (a Attribute) intValue() (int64, bool) {
+	if a.Value.IntValue == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(*a.Value.IntValue, 10, 64)
+	return v, err == nil
+}
+
+// traceIDFor renders the 16-byte trace ID for a job.
+func traceIDFor(jobID uint64) string { return fmt.Sprintf("%032x", jobID) }
+
+// spanIDFor renders the 8-byte span ID: the root span is seq 0, service
+// spans follow in recorded order.
+func spanIDFor(jobID uint64, seq int) string {
+	return fmt.Sprintf("%016x", jobID<<16|uint64(seq+1)&0xffff)
+}
+
+// ExportSpans renders a finished trace as its span records: root first,
+// then one per service visit in recorded order.
+func ExportSpans(t *Trace) []SpanRecord {
+	root := SpanRecord{
+		TraceID:           traceIDFor(t.JobID),
+		SpanID:            spanIDFor(t.JobID, -1),
+		Name:              t.Class,
+		StartTimeUnixNano: strconv.FormatInt(int64(t.Start), 10),
+		EndTimeUnixNano:   strconv.FormatInt(int64(t.End), 10),
+		Attributes:        []Attribute{intAttr(attrJobID, int64(t.JobID))},
+		Status:            StatusRecord{Code: statusOK},
+	}
+	if !t.Complete {
+		root.Status.Code = statusError
+	}
+	out := make([]SpanRecord, 0, 1+len(t.Spans))
+	out = append(out, root)
+	for i, s := range t.Spans {
+		rec := SpanRecord{
+			TraceID:           root.TraceID,
+			SpanID:            spanIDFor(t.JobID, i),
+			ParentSpanID:      root.SpanID,
+			Name:              s.Service,
+			StartTimeUnixNano: strconv.FormatInt(int64(s.Enqueued), 10),
+			EndTimeUnixNano:   strconv.FormatInt(int64(s.Finished), 10),
+			Attributes: []Attribute{
+				stringAttr(attrClass, s.Class),
+				intAttr(attrStartedNano, int64(s.Started)),
+				intAttr(attrDownstreamWait, int64(s.DownstreamWait)),
+			},
+			Status: StatusRecord{Code: statusOK},
+		}
+		if s.Abandoned {
+			rec.Status.Code = statusError
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// SpanWriter streams span records to an io.Writer as JSONL. Writes are
+// buffered; the caller must Flush (or Close) when done. The first write
+// error sticks and suppresses further output.
+type SpanWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewSpanWriter wraps w for JSONL span output.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{bw: bufio.NewWriter(w)}
+}
+
+// ExportTrace writes every span of a finished trace, one JSON object per
+// line. Safe to install directly as Tracer.Exporter via a closure.
+func (sw *SpanWriter) ExportTrace(t *Trace) {
+	if sw.err != nil {
+		return
+	}
+	for _, rec := range ExportSpans(t) {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			_, err = sw.bw.Write(append(line, '\n'))
+		}
+		if err != nil {
+			sw.err = err
+			return
+		}
+	}
+}
+
+// Flush drains the buffer and reports the first error seen.
+func (sw *SpanWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	sw.err = sw.bw.Flush()
+	return sw.err
+}
+
+// ReadSpans parses a JSONL span stream (as produced by SpanWriter) back
+// into records, tolerating blank lines.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: bad span line %q: %w", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// DecodeSpans reconstructs traces from exported span records, inverting
+// ExportSpans exactly: root spans define the trace, child spans restore
+// service visits in span-ID order. Traces are returned in ascending job-ID
+// order.
+func DecodeSpans(recs []SpanRecord) ([]*Trace, error) {
+	byTrace := map[string]*Trace{}
+	spans := map[string][]SpanRecord{}
+	for _, rec := range recs {
+		if rec.ParentSpanID != "" {
+			spans[rec.TraceID] = append(spans[rec.TraceID], rec)
+			continue
+		}
+		start, err1 := strconv.ParseInt(rec.StartTimeUnixNano, 10, 64)
+		end, err2 := strconv.ParseInt(rec.EndTimeUnixNano, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("trace: bad root timestamps in %s", rec.TraceID)
+		}
+		t := &Trace{
+			Class:    rec.Name,
+			Start:    sim.Time(start),
+			End:      sim.Time(end),
+			Complete: rec.Status.Code != statusError,
+		}
+		for _, a := range rec.Attributes {
+			if a.Key == attrJobID {
+				if v, ok := a.intValue(); ok {
+					t.JobID = uint64(v)
+				}
+			}
+		}
+		byTrace[rec.TraceID] = t
+	}
+	out := make([]*Trace, 0, len(byTrace))
+	for id, t := range byTrace {
+		childs := spans[id]
+		sort.Slice(childs, func(i, j int) bool { return childs[i].SpanID < childs[j].SpanID })
+		for _, rec := range childs {
+			enq, err1 := strconv.ParseInt(rec.StartTimeUnixNano, 10, 64)
+			fin, err2 := strconv.ParseInt(rec.EndTimeUnixNano, 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("trace: bad span timestamps in %s", id)
+			}
+			s := Span{
+				Service:   rec.Name,
+				Enqueued:  sim.Time(enq),
+				Finished:  sim.Time(fin),
+				Abandoned: rec.Status.Code == statusError,
+			}
+			for _, a := range rec.Attributes {
+				switch a.Key {
+				case attrClass:
+					if a.Value.StringValue != nil {
+						s.Class = *a.Value.StringValue
+					}
+				case attrStartedNano:
+					if v, ok := a.intValue(); ok {
+						s.Started = sim.Time(v)
+					}
+				case attrDownstreamWait:
+					if v, ok := a.intValue(); ok {
+						s.DownstreamWait = sim.Time(v)
+					}
+				}
+			}
+			t.Spans = append(t.Spans, s)
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out, nil
+}

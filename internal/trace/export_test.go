@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ursa/internal/sim"
+)
+
+// buildTraces finishes n traces through a tracer, alternating complete and
+// failed, with an abandoned span on the failures — the shapes a faults run
+// produces.
+func buildTraces(n int) *Tracer {
+	tr := NewTracer(1, 0)
+	for i := 0; i < n; i++ {
+		id := tr.StartJob("get", sim.Time(i)*sim.Millisecond)
+		s := span("front", sim.Time(i)*sim.Millisecond, sim.Time(i)*sim.Millisecond+sim.Microsecond,
+			sim.Time(i+5)*sim.Millisecond, 2*sim.Millisecond)
+		tr.AddSpan(id, s)
+		tr.AddSpan(id, span("backend", sim.Time(i)*sim.Millisecond, sim.Time(i)*sim.Millisecond,
+			sim.Time(i+3)*sim.Millisecond, 0))
+		if i%2 == 1 {
+			ab := span("backend", sim.Time(i)*sim.Millisecond, sim.Time(i)*sim.Millisecond,
+				sim.Time(i+9)*sim.Millisecond, 0)
+			ab.Abandoned = true
+			tr.AddSpan(id, ab)
+			tr.FailJob(id, sim.Time(i+9)*sim.Millisecond)
+		} else {
+			tr.EndJob(id, sim.Time(i+5)*sim.Millisecond)
+		}
+	}
+	return tr
+}
+
+// TestSpanExportRoundTrip: JSONL out, JSONL in, traces equal — including
+// incomplete traces and abandoned spans.
+func TestSpanExportRoundTrip(t *testing.T) {
+	tr := buildTraces(6)
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	for _, trc := range tr.Traces() {
+		sw.ExportTrace(trc)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Every line is standalone JSON with OTLP-style fields.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := 6 + 6*2 + 3; len(lines) != want { // roots + 2 spans each + 3 abandoned
+		t.Fatalf("lines = %d, want %d", len(lines), want)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, `"traceId"`) || !strings.Contains(l, `"startTimeUnixNano"`) {
+			t.Fatalf("line missing OTLP fields: %s", l)
+		}
+	}
+	recs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpans(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Traces()
+	if len(back) != len(orig) {
+		t.Fatalf("decoded %d traces, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if !reflect.DeepEqual(*orig[i], *back[i]) {
+			t.Fatalf("trace %d did not round-trip:\norig %+v\nback %+v", i, orig[i], back[i])
+		}
+	}
+	// The failed traces must round-trip their incompleteness and abandonment.
+	if back[1].Complete {
+		t.Fatal("failed trace decoded as complete")
+	}
+	if !back[1].Spans[2].Abandoned {
+		t.Fatal("abandoned span lost its flag")
+	}
+}
+
+// TestExporterStreamsPastCap: the exporter sees every finished trace even
+// when Cap retains almost none of them.
+func TestExporterStreamsPastCap(t *testing.T) {
+	tr := NewTracer(1, 2)
+	exported := 0
+	tr.Exporter = func(*Trace) { exported++ }
+	for i := 0; i < 50; i++ {
+		id := tr.StartJob("c", sim.Time(i))
+		tr.EndJob(id, sim.Time(i)+sim.Second)
+	}
+	if exported != 50 {
+		t.Fatalf("exporter saw %d traces, want 50", exported)
+	}
+	if len(tr.Traces()) != 2 {
+		t.Fatalf("retained = %d, want 2", len(tr.Traces()))
+	}
+}
+
+// TestTracerCapRingOrder: heavy churn through a capped tracer keeps
+// Traces() oldest-first with the right contents (the ring must not scramble
+// order across compactions).
+func TestTracerCapRingOrder(t *testing.T) {
+	tr := NewTracer(1, 7)
+	for i := 0; i < 1000; i++ {
+		id := tr.StartJob("c", sim.Time(i))
+		tr.EndJob(id, sim.Time(i)+sim.Second)
+	}
+	got := tr.Traces()
+	if len(got) != 7 {
+		t.Fatalf("retained = %d, want 7", len(got))
+	}
+	for i, trc := range got {
+		if trc.Start != sim.Time(993+i) {
+			t.Fatalf("slot %d start = %v, want %v", i, trc.Start, 993+i)
+		}
+	}
+}
+
+// TestFlushOpenClosesInFlight: jobs still open when the run ends surface as
+// incomplete traces, deterministically ordered, and reach the exporter.
+func TestFlushOpenClosesInFlight(t *testing.T) {
+	tr := NewTracer(1, 0)
+	var exported []*Trace
+	tr.Exporter = func(t *Trace) { exported = append(exported, t) }
+	a := tr.StartJob("c", 0)
+	b := tr.StartJob("c", sim.Second)
+	tr.AddSpan(b, span("svc", sim.Second, sim.Second, 0, 0)) // still running: no finish
+	tr.EndJob(a, 2*sim.Second)
+	tr.FlushOpen(5 * sim.Second)
+
+	got := tr.Traces()
+	if len(got) != 2 || len(exported) != 2 {
+		t.Fatalf("traces = %d exported = %d, want 2/2", len(got), len(exported))
+	}
+	fl := got[1]
+	if fl.Complete || fl.End != 5*sim.Second || fl.JobID != b {
+		t.Fatalf("flushed trace = %+v", fl)
+	}
+	tr.FlushOpen(6 * sim.Second) // idempotent on an empty open set
+	if len(tr.Traces()) != 2 {
+		t.Fatal("second FlushOpen changed state")
+	}
+}

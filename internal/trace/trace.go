@@ -110,11 +110,19 @@ type Tracer struct {
 	SampleEvery int
 	// Cap bounds retained traces (oldest evicted); 0 = unlimited.
 	Cap int
+	// Exporter, when set, receives every trace the moment it finishes
+	// (complete or failed), before retention applies — so spans stream out
+	// even on runs whose Cap evicts them from memory moments later.
+	Exporter func(*Trace)
 
 	nextID  uint64
 	counter int
 	open    map[uint64]*Trace
-	done    []*Trace
+	// Retained traces live in done[head:]; eviction advances head and the
+	// slice compacts only when more than half is dead, so a full ring costs
+	// amortized O(1) per finished job instead of an O(Cap) realloc.
+	done []*Trace
+	head int
 }
 
 // NewTracer builds a tracer sampling one of every n jobs, retaining at most
@@ -167,19 +175,47 @@ func (tr *Tracer) finishJob(id uint64, now sim.Time, complete bool) {
 	delete(tr.open, id)
 	t.End = now
 	t.Complete = complete
+	if tr.Exporter != nil {
+		tr.Exporter(t)
+	}
 	tr.done = append(tr.done, t)
-	if tr.Cap > 0 && len(tr.done) > tr.Cap {
-		tr.done = append([]*Trace(nil), tr.done[len(tr.done)-tr.Cap:]...)
+	if tr.Cap > 0 && len(tr.done)-tr.head > tr.Cap {
+		tr.done[tr.head] = nil
+		tr.head++
+		if 2*tr.head >= len(tr.done) {
+			n := copy(tr.done, tr.done[tr.head:])
+			for i := n; i < len(tr.done); i++ {
+				tr.done[i] = nil
+			}
+			tr.done = tr.done[:n]
+			tr.head = 0
+		}
+	}
+}
+
+// FlushOpen force-closes every still-open trace as incomplete at time now
+// (ascending job ID, so output is deterministic) — the end-of-run sweep
+// that surfaces jobs still in flight or abandoned when the simulation
+// stopped. The closed traces go through the usual finish path, so the
+// Exporter sees them and retention applies.
+func (tr *Tracer) FlushOpen(now sim.Time) {
+	ids := make([]uint64, 0, len(tr.open))
+	for id := range tr.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		tr.finishJob(id, now, false)
 	}
 }
 
 // Traces returns completed traces (oldest first).
-func (tr *Tracer) Traces() []*Trace { return tr.done }
+func (tr *Tracer) Traces() []*Trace { return tr.done[tr.head:] }
 
 // TracesFor filters completed traces by class.
 func (tr *Tracer) TracesFor(class string) []*Trace {
 	var out []*Trace
-	for _, t := range tr.done {
+	for _, t := range tr.Traces() {
 		if t.Class == class {
 			out = append(out, t)
 		}
@@ -191,7 +227,7 @@ func (tr *Tracer) TracesFor(class string) []*Trace {
 // class (nil when none).
 func (tr *Tracer) SlowestTrace(class string) *Trace {
 	var best *Trace
-	for _, t := range tr.done {
+	for _, t := range tr.Traces() {
 		if t.Class != class {
 			continue
 		}
@@ -206,7 +242,7 @@ func (tr *Tracer) SlowestTrace(class string) *Trace {
 // share of cumulative response time — a coarse critical-path profile.
 func (tr *Tracer) CriticalBreakdown(class string) map[string]sim.Time {
 	out := map[string]sim.Time{}
-	for _, t := range tr.done {
+	for _, t := range tr.Traces() {
 		if t.Class != class {
 			continue
 		}
