@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput clean
 
 all: check
 
@@ -60,6 +60,18 @@ bench-telemetry:
 		-benchmem ./internal/stats ./internal/metrics \
 		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
 	@echo wrote BENCH_telemetry.json
+
+# bench-throughput runs the single-run throughput headline: a 10×-scale
+# social-network app at 1000 RPS, reporting wall-clock events/sec and heap
+# allocations per injected request for the default fast path ("fused":
+# batched arrivals + pooled step frames) and the retained pre-PR
+# implementation ("reference"). Diff BENCH_throughput.json to track the
+# events/sec trajectory PR over PR.
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'BenchmarkThroughput' -benchtime=3x \
+		-benchmem ./internal/experiments \
+		| $(GO) run ./cmd/benchjson > BENCH_throughput.json
+	@echo wrote BENCH_throughput.json
 
 clean:
 	$(GO) clean ./...

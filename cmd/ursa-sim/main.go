@@ -6,8 +6,13 @@
 //	ursa-sim -app social-network -system ursa -load dynamic -minutes 30
 //	ursa-sim -app video-pipeline -system auto-a -load constant
 //	ursa-sim -app social-network -system ursa -resilience -fail-node node-7 -fail-at 10 -fail-for 5
+//	ursa-sim -app social-network -system none -minutes 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Systems: ursa, sinan, firm, auto-a, auto-b, none.
+//
+// Profiling: -cpuprofile / -memprofile write runtime/pprof profiles of the
+// whole run (inspect with `go tool pprof`), so hot-path regressions are
+// diagnosable without editing code.
 //
 // Fault injection: -fail-node crashes a node mid-run (the app is then bound
 // to the paper's 8-node testbed so placements are real); -resilience arms
@@ -21,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ursa/internal/baselines"
 	"ursa/internal/baselines/autoscale"
@@ -59,8 +66,43 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "stream sampled request traces to this file as OTLP-style JSONL spans")
 		traceSample = flag.Int("trace-sample", 20, "with -trace-out, trace one of every N jobs")
 		metricsOut  = flag.String("metrics-out", "", "write retained per-window latency/arrival metrics to this file as OTLP-style JSONL summary points")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *cpuProfile, err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("writing heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *memProfile, err)
+		}
+	}()
 
 	var c experiments.AppCase
 	if *specFile != "" {

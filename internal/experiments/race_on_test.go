@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Long property sweeps scale their seed counts down under race
+// (roughly a 20x slowdown on simulation-heavy loops) so the package stays
+// inside the default go test timeout; the full sweeps run in the non-race
+// suite.
+const raceEnabled = true

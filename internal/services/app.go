@@ -54,6 +54,12 @@ type App struct {
 	sampler *sim.Ticker
 
 	telemetry TelemetryConfig
+
+	// framePool / reqPool recycle step frames and requests on the fused
+	// execution path (frame.go). Per-app (= per-engine), so parallel
+	// experiment runs never share them.
+	framePool []*frame
+	reqPool   []*Request
 }
 
 // Eviction records replicas one service lost in a crash event.
@@ -231,12 +237,11 @@ func (a *App) injectAt(svc *Service, class string) *Job {
 	}
 	a.InjectedJobs++
 	j.add()
-	entry := &Request{
-		Job:      j,
-		Class:    class,
-		Priority: j.Priority,
-	}
-	entry.onDone = entry.jobBranchDone
+	entry := a.getRequest()
+	entry.Job = j
+	entry.Class = class
+	entry.Priority = j.Priority
+	entry.doneBranch = true
 	svc.Enqueue(entry)
 	return j
 }

@@ -1,0 +1,360 @@
+package services
+
+import (
+	"fmt"
+
+	"ursa/internal/sim"
+	"ursa/internal/trace"
+)
+
+// UseReferenceSteps, when set before apps are built, routes every handler
+// through the retained closure-per-hop reference interpreter
+// (runStepsReference) instead of the pooled step-frame machine. The two paths
+// are pinned byte-identical by TestFramesMatchReference and the experiment-
+// level identity tests; the flag exists so those tests (and A/B benchmarks)
+// can run the original implementation without forking the package.
+var UseReferenceSteps bool
+
+// frame is one execution of one handler step list: the fused replacement for
+// the reference interpreter's closure chain. Where the reference path builds
+// a fresh `step` closure, a fresh `finish` closure and a fresh continuation
+// closure per hop, a frame carries the program counter (i), the downstream-
+// wait accumulator and the completion state in one pooled struct, and every
+// engine continuation is a method value bound once per frame lifetime — so in
+// steady state a request executes its whole send→queue→serve→reply chain
+// without allocating.
+//
+// Lifetime: frames are recycled through App.framePool. A frame is released
+// only when it has completed AND refs — the number of outstanding callbacks
+// that can still reach it (a CPU burst completion, a nested-RPC response, an
+// ingress admission) — has dropped to zero. A frame whose callback died with
+// a crashed replica (cpuSched drops bursts on kill) keeps a positive refs
+// count forever and is simply garbage-collected; it never re-enters the pool,
+// so a recycled frame can never be reached by a stale continuation.
+type frame struct {
+	app   *App
+	req   *Request
+	steps []Step
+	i     int // program counter into steps
+
+	// Root-frame completion state (what the reference path's per-request
+	// finish closure captured).
+	svc     *Service
+	rep     *Replica
+	started sim.Time
+
+	// wait accumulates time blocked on nested-RPC responses for this frame's
+	// step list; waitAcc is where it is charged (&wait for root frames and
+	// Par branches — branch waits fold into the parent as max, not sum).
+	wait    sim.Time
+	waitAcc *sim.Time
+
+	// Par coordination: a parent frame waits for parRemaining branch frames,
+	// folding their waits into parMax.
+	parent       *frame
+	parRemaining int
+	parMax       sim.Time
+
+	// In-flight fast-path nested RPC: the outstanding request and the
+	// response-wait clock start (stamped by accepted, read by rpcDone). t0
+	// reset/overwrite ordering reproduces the reference path's per-call t0
+	// exactly — see DESIGN.md §4f.
+	rpcReq *Request
+	t0     sim.Time
+
+	refs     int
+	finished bool
+
+	// Bound once when the frame is first allocated; reused across pool
+	// cycles. Taking a method value inline would allocate per use.
+	advanceFn  func()
+	rpcDoneFn  func()
+	acceptedFn func()
+	finishFn   func()
+}
+
+// getFrame pops a recycled frame or builds one with its method values bound.
+func (a *App) getFrame() *frame {
+	n := len(a.framePool)
+	if n == 0 {
+		f := &frame{app: a}
+		f.advanceFn = f.advance
+		f.rpcDoneFn = f.rpcDone
+		f.acceptedFn = f.accepted
+		f.finishFn = f.finish
+		return f
+	}
+	f := a.framePool[n-1]
+	a.framePool[n-1] = nil
+	a.framePool = a.framePool[:n-1]
+	return f
+}
+
+// putFrame zeroes per-use state (keeping the bound method values) and
+// returns the frame to the pool.
+func (a *App) putFrame(f *frame) {
+	f.req = nil
+	f.steps = nil
+	f.i = 0
+	f.svc = nil
+	f.rep = nil
+	f.started = 0
+	f.wait = 0
+	f.waitAcc = nil
+	f.parent = nil
+	f.parRemaining = 0
+	f.parMax = 0
+	f.rpcReq = nil
+	f.t0 = 0
+	f.finished = false
+	a.framePool = append(a.framePool, f)
+}
+
+// getRequest pops a recycled Request (zeroed) or allocates one.
+func (a *App) getRequest() *Request {
+	n := len(a.reqPool)
+	if n == 0 {
+		return &Request{}
+	}
+	r := a.reqPool[n-1]
+	a.reqPool[n-1] = nil
+	a.reqPool = a.reqPool[:n-1]
+	return r
+}
+
+// putRequest recycles a request. Only requests that settled cleanly are ever
+// recycled (see frame.finish): a failed or abandoned request may still be
+// referenced by a crashed replica's bookkeeping, a late resilience timeout,
+// or a caller that gave up on it — exactly the objects the reference path
+// leaves to the garbage collector, and so do we.
+func (a *App) putRequest(r *Request) {
+	*r = Request{}
+	a.reqPool = append(a.reqPool, r)
+}
+
+// start begins executing steps for req on the frame's bound worker.
+func (f *frame) start() { f.exec() }
+
+// exec runs steps from the current program counter until the frame blocks on
+// an engine callback or completes. It is the loop form of the reference
+// interpreter's recursive `step` closure; synchronous steps (Spawn, MQ) fall
+// through without touching the engine.
+func (f *frame) exec() {
+	a := f.app
+	req := f.req
+	for {
+		if f.i == len(f.steps) || req.Failed {
+			f.complete()
+			return
+		}
+		switch st := f.steps[f.i].(type) {
+		case Compute:
+			ms := st.Dist().Sample(req.svc.rng)
+			f.i++
+			f.refs++
+			req.replica.cpu.Run(ms/1e3, f.advanceFn)
+			return
+		case Call:
+			target := a.mustService(st.Service)
+			class := req.Class
+			if st.Class != "" {
+				class = st.Class
+			}
+			switch st.Mode {
+			case NestedRPC:
+				f.i++
+				if a.res == nil && a.Net == nil {
+					// The response-wait clock starts at admission by the
+					// downstream ingress; send-blocking before that charges
+					// the caller's own response time (backpressure).
+					rpc := a.getRequest()
+					rpc.Job = req.Job
+					rpc.Class = class
+					rpc.Priority = req.Priority
+					rpc.onDone = f.rpcDoneFn
+					f.rpcReq = rpc
+					f.t0 = 0
+					f.refs += 2 // rpcDone and accepted each hold the frame
+					target.Send(rpc, f.acceptedFn)
+				} else {
+					f.refs++
+					a.callNested(req, target, class, f.waitAcc, f.advanceFn)
+				}
+				return
+			case EventRPC:
+				// Block the worker until a daemon slot is granted, then
+				// respond immediately while the daemon performs the send
+				// (possibly blocking on the downstream window) and awaits
+				// the response.
+				f.i++
+				f.refs++
+				req.replica.acquireDaemon(func(release func()) {
+					req.Job.add()
+					if a.res == nil && a.Net == nil {
+						rpc := a.getRequest()
+						rpc.Job = req.Job
+						rpc.Class = class
+						rpc.Priority = req.Priority
+						rpc.onDone = func() {
+							release()
+							rpc.jobBranchDone()
+						}
+						target.Send(rpc, nil)
+					} else {
+						a.sendEvent(req, target, class, release)
+					}
+					f.refs--
+					f.exec()
+				})
+				return
+			case MQ:
+				req.Job.add()
+				mq := a.getRequest()
+				mq.Job = req.Job
+				mq.Class = class
+				mq.Priority = req.Priority
+				mq.doneBranch = true
+				target.Enqueue(mq)
+				f.i++
+			default:
+				panic(fmt.Sprintf("services: unknown call mode %v", st.Mode))
+			}
+		case Spawn:
+			target := a.mustService(st.Service)
+			a.injectAt(target, st.Class)
+			f.i++
+		case Par:
+			if len(st.Branches) == 0 {
+				f.i++
+				continue
+			}
+			f.i++
+			f.parRemaining = len(st.Branches)
+			f.parMax = 0
+			f.refs += len(st.Branches)
+			for _, br := range st.Branches {
+				c := a.getFrame()
+				c.req = req
+				c.steps = br
+				c.parent = f
+				c.waitAcc = &c.wait
+				c.exec()
+			}
+			return
+		default:
+			panic(fmt.Sprintf("services: unknown step type %T", st))
+		}
+	}
+}
+
+// advance resumes the frame after an engine callback (CPU burst completion,
+// daemon grant, resilient-call outcome).
+func (f *frame) advance() {
+	f.refs--
+	f.exec()
+}
+
+// rpcDone resumes the frame after a fast-path nested-RPC response: propagate
+// a terminal failure, charge the response wait, continue.
+func (f *frame) rpcDone() {
+	f.refs--
+	if f.rpcReq.Failed {
+		f.req.Failed = true
+	}
+	*f.waitAcc += f.app.Eng.Now() - f.t0
+	f.exec()
+}
+
+// accepted fires when the downstream ingress admits the fast-path nested
+// RPC: start the response-wait clock. Writing t0 after a synchronous
+// completion already consumed it is harmless (and matches the reference
+// path, whose per-call t0 also went unread in that interleaving).
+func (f *frame) accepted() {
+	f.refs--
+	f.t0 = f.app.Eng.Now()
+	f.maybeRelease()
+}
+
+// complete fires when the step list ran out (or the request terminally
+// failed): fold a Par branch into its parent, or finish the root request.
+// Each frame completes at most once — it has at most one outstanding
+// continuation at any time, and a crash force-completes the request through
+// req.finish without touching the frame.
+func (f *frame) complete() {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	if p := f.parent; p != nil {
+		w := f.wait
+		f.maybeRelease()
+		p.childDone(w)
+		return
+	}
+	f.finish()
+	f.maybeRelease()
+}
+
+// childDone folds one completed Par branch into this frame; the last branch
+// charges the longest branch wait (branches overlap in time) and resumes.
+func (f *frame) childDone(w sim.Time) {
+	f.refs--
+	if w > f.parMax {
+		f.parMax = w
+	}
+	f.parRemaining--
+	if f.parRemaining == 0 {
+		*f.waitAcc += f.parMax
+		f.exec()
+	}
+}
+
+// finish completes the root request: metrics, span, worker release, onDone —
+// the fused form of the reference path's per-request finish closure. It is
+// stored in req.finish so a crash can force-complete in-flight requests; the
+// settled guard makes the eventual frame completion a no-op after that.
+func (f *frame) finish() {
+	req := f.req
+	if req.settled {
+		return // a crash already force-completed this request
+	}
+	req.settled = true
+	s := f.svc
+	rep := f.rep
+	rep.untrack(req)
+	now := f.app.Eng.Now()
+	if !req.Failed {
+		resp := now - req.arrival - f.wait
+		if resp < 0 {
+			resp = 0
+		}
+		s.RespTime.Add(now, resp.Millis())
+		s.RespByClass.Record(now, req.Class, resp.Millis())
+	}
+	if tr := f.app.Tracer; tr != nil && req.Job != nil && req.Job.traceID != 0 {
+		tr.AddSpan(req.Job.traceID, trace.Span{
+			Service:        s.spec.Name,
+			Class:          req.Class,
+			Enqueued:       req.arrival,
+			Started:        f.started,
+			Finished:       now,
+			DownstreamWait: f.wait,
+			Abandoned:      req.Failed || req.abandoned,
+		})
+	}
+	rep.busyWorkers--
+	rep.maybeRetire()
+	s.pump()
+	req.runOnDone()
+	if !req.Failed && !req.abandoned {
+		f.app.putRequest(req)
+	}
+}
+
+// maybeRelease returns the frame to the pool once it has completed and no
+// outstanding callback can reach it anymore.
+func (f *frame) maybeRelease() {
+	if f.finished && f.refs == 0 {
+		f.app.putFrame(f)
+	}
+}

@@ -1,13 +1,17 @@
 package services
 
-import "container/heap"
-
 // reqQueue is the pending-request queue of a service: strict priority order
 // (lower Priority value first), FIFO within a priority. For MQ-connected
 // services this *is* the message queue — high-priority messages are always
 // drained before low-priority ones (§VI, video processing pipeline).
+//
+// The heap is typed (no container/heap): pushing through the stdlib's
+// any-valued interface boxes one queued{} per enqueue, which on the hot path
+// is an allocation per request per tier. Pop order is identical either way —
+// (Priority, seq) is a strict total order, so every correct binary heap pops
+// the same sequence.
 type reqQueue struct {
-	h   reqHeap
+	h   []queued
 	seq uint64
 }
 
@@ -16,36 +20,54 @@ type queued struct {
 	seq uint64
 }
 
-type reqHeap []queued
-
-func (h reqHeap) Len() int { return len(h) }
-func (h reqHeap) Less(i, j int) bool {
-	if h[i].req.Priority != h[j].req.Priority {
-		return h[i].req.Priority < h[j].req.Priority
+func queuedLess(a, b *queued) bool {
+	if a.req.Priority != b.req.Priority {
+		return a.req.Priority < b.req.Priority
 	}
-	return h[i].seq < h[j].seq
-}
-func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *reqHeap) Push(x any)   { *h = append(*h, x.(queued)) }
-func (h *reqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = queued{}
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 func (q *reqQueue) push(r *Request) {
 	q.seq++
-	heap.Push(&q.h, queued{req: r, seq: q.seq})
+	q.h = append(q.h, queued{req: r, seq: q.seq})
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !queuedLess(&q.h[i], &q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
 }
 
 func (q *reqQueue) pop() *Request {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(queued).req
+	r := q.h[0].req
+	n--
+	q.h[0] = q.h[n]
+	q.h[n] = queued{}
+	q.h = q.h[:n]
+	i := 0
+	for {
+		l, rc := 2*i+1, 2*i+2
+		best := i
+		if l < n && queuedLess(&q.h[l], &q.h[best]) {
+			best = l
+		}
+		if rc < n && queuedLess(&q.h[rc], &q.h[best]) {
+			best = rc
+		}
+		if best == i {
+			break
+		}
+		q.h[i], q.h[best] = q.h[best], q.h[i]
+		i = best
+	}
+	return r
 }
 
 func (q *reqQueue) len() int { return len(q.h) }

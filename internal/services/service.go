@@ -478,6 +478,18 @@ func (s *Service) start(rep *Replica, req *Request) {
 	rep.busyWorkers++
 	req.replica = rep
 	rep.track(req)
+	if !UseReferenceSteps {
+		f := s.app.getFrame()
+		f.req = req
+		f.steps = steps
+		f.svc = s
+		f.rep = rep
+		f.started = s.app.Eng.Now()
+		f.waitAcc = &f.wait
+		req.finish = f.finishFn
+		f.start()
+		return
+	}
 	started := s.app.Eng.Now()
 	var wait sim.Time
 	req.finish = func() {
@@ -509,11 +521,9 @@ func (s *Service) start(rep *Replica, req *Request) {
 		rep.busyWorkers--
 		rep.maybeRetire()
 		s.pump()
-		if req.onDone != nil {
-			req.onDone()
-		}
+		req.runOnDone()
 	}
-	s.app.runSteps(req, steps, &wait, req.finish)
+	s.app.runStepsReference(req, steps, &wait, req.finish)
 }
 
 // CPUAccounting reports the service's cumulative CPU accounting: busy

@@ -91,6 +91,19 @@ type Request struct {
 	// finish completes the handler: metrics, span, worker release, onDone.
 	// Stored so a crash can force-complete in-flight requests.
 	finish func()
+	// doneBranch, when set (and onDone is nil), retires one job branch at
+	// completion — the closure-free form of onDone = jobBranchDone that entry
+	// and MQ requests use.
+	doneBranch bool
+}
+
+// runOnDone fires the request's completion notification, if any.
+func (r *Request) runOnDone() {
+	if r.onDone != nil {
+		r.onDone()
+	} else if r.doneBranch {
+		r.jobBranchDone()
+	}
 }
 
 // jobBranchDone completes one job branch, propagating a terminal failure of
@@ -102,12 +115,16 @@ func (r *Request) jobBranchDone() {
 	r.Job.branchDone()
 }
 
-// runSteps executes handler steps sequentially; waitAcc accumulates time
-// spent blocked on nested-RPC responses (excluded from the tier's measured
-// response time, per Fig. 2's S0−R0 definition). done fires after the final
-// step, or as soon as the request terminally fails (a downstream call out of
-// retries aborts the rest of the handler).
-func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func()) {
+// runStepsReference executes handler steps sequentially; waitAcc accumulates
+// time spent blocked on nested-RPC responses (excluded from the tier's
+// measured response time, per Fig. 2's S0−R0 definition). done fires after
+// the final step, or as soon as the request terminally fails (a downstream
+// call out of retries aborts the rest of the handler).
+//
+// This is the retained closure-per-hop reference interpreter, selected by
+// UseReferenceSteps; the default execution path is the pooled step-frame
+// machine in frame.go, pinned byte-identical to this one.
+func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, done func()) {
 	var step func(i int)
 	step = func(i int) {
 		if i == len(steps) || req.Failed {
@@ -196,7 +213,7 @@ func (a *App) runSteps(req *Request, steps []Step, waitAcc *sim.Time, done func(
 			waits := make([]sim.Time, len(st.Branches))
 			for bi, br := range st.Branches {
 				bi := bi
-				a.runSteps(req, br, &waits[bi], func() {
+				a.runStepsReference(req, br, &waits[bi], func() {
 					remaining--
 					if remaining == 0 {
 						// Branches overlap in time; count the longest

@@ -59,6 +59,7 @@ func (ev Event) Cancel() {
 	sl.pending = false
 	sl.canceled = true
 	sl.fn = nil
+	sl.h = nil
 	e.free = append(e.free, ev.slot)
 	e.stale++
 	if e.stale*2 > len(e.heap) && len(e.heap) >= reapMinQueue {
@@ -70,11 +71,21 @@ func (ev Event) Cancel() {
 // sweep; tiny queues self-clean through normal pops.
 const reapMinQueue = 16
 
+// Handler receives scheduled callbacks without a per-call closure. Components
+// that schedule the same logical callback over and over (a load generator
+// arming its next arrival, a ticker re-arming itself, a pooled step machine
+// advancing a request) implement Handler once and pass themselves to
+// ScheduleHandler/AtHandler: storing a pointer-backed interface in the event
+// arena allocates nothing, where building a fresh func() closure per call
+// allocates every time.
+type Handler interface{ OnEvent() }
+
 // eventSlot is one arena cell. Slots are recycled through a free list; gen
 // increments on every (re)allocation, which is what invalidates old handles
-// and old queue entries.
+// and old queue entries. Exactly one of fn and h is set per lifetime.
 type eventSlot struct {
 	fn       func()
+	h        Handler
 	at       Time
 	gen      uint64
 	pending  bool // scheduled and neither fired nor canceled
@@ -168,8 +179,33 @@ func (e *Engine) Schedule(delay Time, fn func()) Event {
 	return e.At(e.now+delay, fn)
 }
 
+// ScheduleHandler runs h.OnEvent after delay. Unlike Schedule it stores the
+// handler interface directly in the event arena, so scheduling a pointer-
+// backed handler allocates nothing.
+func (e *Engine) ScheduleHandler(delay Time, h Handler) Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleHandler with negative delay %v", delay))
+	}
+	return e.AtHandler(e.now+delay, h)
+}
+
 // At runs fn at absolute time t, which must not be in the past.
 func (e *Engine) At(t Time, fn func()) Event {
+	sl, ev := e.alloc(t)
+	sl.fn = fn
+	return ev
+}
+
+// AtHandler runs h.OnEvent at absolute time t, which must not be in the past.
+func (e *Engine) AtHandler(t Time, h Handler) Event {
+	sl, ev := e.alloc(t)
+	sl.h = h
+	return ev
+}
+
+// alloc claims an arena slot and queues it for time t; the caller fills in
+// the callback (fn or h).
+func (e *Engine) alloc(t Time) (*eventSlot, Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, e.now))
 	}
@@ -184,12 +220,11 @@ func (e *Engine) At(t Time, fn func()) Event {
 	}
 	sl := &e.slots[s]
 	sl.gen++
-	sl.fn = fn
 	sl.at = t
 	sl.pending = true
 	sl.canceled = false
 	e.push(eventEntry{at: t, seq: e.seq, slot: s, gen: sl.gen})
-	return Event{eng: e, slot: s, gen: sl.gen}
+	return sl, Event{eng: e, slot: s, gen: sl.gen}
 }
 
 // push inserts an entry and sifts it up the 4-ary heap.
@@ -246,13 +281,18 @@ func (e *Engine) siftDown(i int) {
 // releases its slot, advances the clock and runs the callback.
 func (e *Engine) fireTop(en eventEntry) {
 	sl := &e.slots[en.slot]
-	fn := sl.fn
+	fn, h := sl.fn, sl.h
 	sl.fn = nil
+	sl.h = nil
 	sl.pending = false
 	e.free = append(e.free, en.slot)
 	e.now = en.at
 	e.fired++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		h.OnEvent()
+	}
 }
 
 // Step executes the next pending event, skipping canceled ones. It returns
@@ -330,15 +370,19 @@ type Ticker struct {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.engine.Schedule(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.engine.ScheduleHandler(t.period, t)
+}
+
+// OnEvent implements Handler: one tick. Scheduling the ticker itself (rather
+// than a fresh closure per tick) makes periodic samplers allocation-free.
+func (t *Ticker) OnEvent() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels future ticks and immediately drops the armed event from the

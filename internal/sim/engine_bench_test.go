@@ -46,6 +46,30 @@ func BenchmarkEngineScheduleDepth(b *testing.B) {
 	}
 }
 
+// benchHandler is a Handler with a visible side effect, for the
+// closure-free scheduling benchmarks.
+type benchHandler struct{ n int }
+
+func (h *benchHandler) OnEvent() { h.n++ }
+
+// BenchmarkEngineScheduleHandler measures the closure-free schedule→fire
+// round trip: the handler interface is stored directly in the event arena, so
+// the path is 0 allocs/op without the caller having to hoist a closure.
+func BenchmarkEngineScheduleHandler(b *testing.B) {
+	e := NewEngine(1)
+	h := &benchHandler{}
+	for i := 0; i < 1024; i++ {
+		e.ScheduleHandler(Time(i), h)
+	}
+	e.Drain(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleHandler(Millisecond, h)
+		e.Step()
+	}
+}
+
 // BenchmarkEngineCancel measures the schedule→cancel churn path (timeouts
 // beaten by responses, PS replanning): O(1) lazy deletion plus amortized
 // bulk reaping.

@@ -428,3 +428,64 @@ func TestHeavyChurnDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// countHandler is a Handler that counts firings and records the fire time.
+type countHandler struct {
+	eng *Engine
+	n   int
+	at  []Time
+}
+
+func (h *countHandler) OnEvent() {
+	h.n++
+	h.at = append(h.at, h.eng.Now())
+}
+
+// TestScheduleHandlerFiresLikeSchedule checks the handler path interleaves
+// with closure events in exactly (time, seq) order and supports Cancel.
+func TestScheduleHandlerFiresLikeSchedule(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{eng: e}
+	var order []string
+	e.Schedule(2*Millisecond, func() { order = append(order, "fn@2") })
+	e.ScheduleHandler(Millisecond, h)
+	e.ScheduleHandler(2*Millisecond, h) // same time as fn@2, scheduled later
+	ev := e.ScheduleHandler(3*Millisecond, h)
+	ev.Cancel()
+	e.Drain(100)
+	if h.n != 2 {
+		t.Fatalf("handler fired %d times, want 2 (one canceled)", h.n)
+	}
+	if h.at[0] != Millisecond || h.at[1] != 2*Millisecond {
+		t.Fatalf("handler fire times = %v", h.at)
+	}
+	if len(order) != 1 || order[0] != "fn@2" {
+		t.Fatalf("closure event did not fire: %v", order)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", e.Pending())
+	}
+}
+
+// TestScheduleHandlerZeroAlloc pins the headline property of the handler
+// path: scheduling and firing a pointer-backed handler allocates nothing once
+// the arena is warm. This is the invariant that keeps batched arrivals and
+// pooled step frames allocation-free per event.
+func TestScheduleHandlerZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	h := &countHandler{eng: e}
+	// Warm the arena, heap storage and the handler's at slice.
+	for i := 0; i < 256; i++ {
+		e.ScheduleHandler(Time(i+1), h)
+	}
+	e.Drain(1 << 20)
+	h.at = h.at[:0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleHandler(Millisecond, h)
+		e.Step()
+		h.at = h.at[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleHandler round trip allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -139,7 +139,30 @@ func (m Mix) Fraction(class string) float64 {
 	return m[class] / total
 }
 
+// UseLegacyArrivals, when set before generators are started, routes every
+// arrival through the retained one-timer-per-arrival reference path instead
+// of the batched fast path. The two paths are pinned byte-identical by
+// TestBatchedMatchesLegacy and the experiment-level identity tests; the flag
+// exists so those tests (and A/B benchmarks) can run the original
+// implementation without forking the package.
+var UseLegacyArrivals bool
+
+// arrivalBlock is how many (inter-arrival, class) RNG draw pairs the batched
+// path pre-generates at a time. Bigger blocks amortize RNG calls further but
+// pre-draw deeper past a Stop; 256 keeps the slabs L1-resident.
+const arrivalBlock = 256
+
 // Generator drives Poisson arrivals of mixed request classes into an app.
+//
+// The default (batched) implementation pre-draws RNG values in blocks and
+// keeps exactly one pending arrival timer, armed through the engine's
+// closure-free handler path — zero allocations per arrival in steady state.
+// Batching preserves the reference path's behaviour exactly (see DESIGN.md
+// §4f): draws are consumed pairwise in the same stream order, each
+// inter-arrival gap is still scaled by the pattern rate read at the previous
+// arrival, and the single Schedule call per arrival happens at the same
+// moment — so event times, engine sequence numbers and every injected
+// (time, class) pair are identical to the legacy path.
 type Generator struct {
 	eng     *sim.Engine
 	app     *services.App
@@ -148,8 +171,20 @@ type Generator struct {
 	cum     []float64
 	rng     *rand.Rand
 	stopped bool
+	legacy  bool
 	// Injected counts requests injected per class.
 	Injected map[string]int
+
+	// Batched-arrival state: raw ExpFloat64 gap draws and Float64 class
+	// draws, consumed pairwise at index idx. Raw draws are pattern-agnostic —
+	// gaps are scaled by the live rate only when the next timer is armed, so
+	// SetPattern needs no block invalidation.
+	expDraws []float64
+	clsDraws []float64
+	idx      int
+	// idleWait marks the pending timer as a rate re-check (pattern returned
+	// rate ≤ 0) rather than an arrival.
+	idleWait bool
 }
 
 // New creates a generator; call Start to begin injecting load.
@@ -162,21 +197,89 @@ func New(eng *sim.Engine, app *services.App, pattern Pattern, mix Mix) *Generato
 		classes:  classes,
 		cum:      cum,
 		rng:      eng.RNG("workload/" + app.Spec.Name),
+		legacy:   UseLegacyArrivals,
 		Injected: map[string]int{},
 	}
 }
 
 // Start begins the open-loop arrival process.
 func (g *Generator) Start() {
-	g.scheduleNext()
+	if g.legacy {
+		g.scheduleNext()
+		return
+	}
+	g.armNext()
 }
 
-// Stop halts future arrivals (in-flight requests drain normally).
+// Stop halts future arrivals (in-flight requests drain normally). A pending
+// arrival timer fires as a no-op, exactly like the legacy path.
 func (g *Generator) Stop() { g.stopped = true }
 
-// SetPattern swaps the load pattern (takes effect from the next arrival).
+// SetPattern swaps the load pattern. It takes effect at the next arrival
+// boundary: the already-armed gap was scaled by the old pattern's rate (it
+// was drawn at the previous arrival), and every later gap is scaled by the
+// new pattern's rate at arm time — identical in both arrival paths, because
+// the batched blocks store raw unscaled draws.
 func (g *Generator) SetPattern(p Pattern) { g.pattern = p }
 
+// refill pre-draws one block of (gap, class) RNG pairs. Pairwise order
+// matches the legacy path's interleaved consumption (Exp₁ F₁ Exp₂ F₂ …), so
+// both paths read the identical value sequence from the generator's private
+// stream.
+func (g *Generator) refill() {
+	if cap(g.expDraws) == 0 {
+		g.expDraws = make([]float64, 0, arrivalBlock)
+		g.clsDraws = make([]float64, 0, arrivalBlock)
+	}
+	g.expDraws = g.expDraws[:0]
+	g.clsDraws = g.clsDraws[:0]
+	for i := 0; i < arrivalBlock; i++ {
+		g.expDraws = append(g.expDraws, g.rng.ExpFloat64())
+		g.clsDraws = append(g.clsDraws, g.rng.Float64())
+	}
+	g.idx = 0
+}
+
+// armNext schedules the next arrival (or a 1-second idle re-check when the
+// pattern rate is non-positive) on the closure-free handler path.
+func (g *Generator) armNext() {
+	if g.stopped {
+		return
+	}
+	rate := g.pattern.RPS(g.eng.Now())
+	if rate <= 0 {
+		// Idle: re-check for a live rate once a second, consuming no draws.
+		g.idleWait = true
+		g.eng.ScheduleHandler(sim.Second, g)
+		return
+	}
+	if g.idx == len(g.expDraws) {
+		g.refill()
+	}
+	gap := sim.Seconds2Time(g.expDraws[g.idx] / rate)
+	g.eng.ScheduleHandler(gap, g)
+}
+
+// OnEvent implements sim.Handler: one arrival (or one idle re-check) fires.
+func (g *Generator) OnEvent() {
+	if g.stopped {
+		return
+	}
+	if g.idleWait {
+		g.idleWait = false
+		g.armNext()
+		return
+	}
+	class := g.pickFrom(g.clsDraws[g.idx])
+	g.idx++
+	g.Injected[class]++
+	g.app.Inject(class)
+	g.armNext()
+}
+
+// scheduleNext is the retained one-timer-per-arrival reference path: one
+// ExpFloat64 + one Float64 + two closures per arrival. It is the ground truth
+// the batched path is pinned against.
 func (g *Generator) scheduleNext() {
 	if g.stopped {
 		return
@@ -200,7 +303,10 @@ func (g *Generator) scheduleNext() {
 }
 
 func (g *Generator) pick() string {
-	u := g.rng.Float64()
+	return g.pickFrom(g.rng.Float64())
+}
+
+func (g *Generator) pickFrom(u float64) string {
 	for i, c := range g.cum {
 		if u <= c {
 			return g.classes[i]

@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"fmt"
 	"math"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -148,5 +151,164 @@ func TestDiurnalBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// recPattern wraps a pattern and records every RPS query time. The generator
+// queries the pattern exactly once per arrival (at the previous arrival's
+// processing time) plus once per idle re-check, so the recorded sequence is a
+// complete fingerprint of the arrival timeline in both arrival paths.
+type recPattern struct {
+	inner Pattern
+	times []sim.Time
+}
+
+func (r *recPattern) RPS(t sim.Time) float64 {
+	r.times = append(r.times, t)
+	return r.inner.RPS(t)
+}
+
+// arrivalFingerprint runs one generator (legacy or batched) for 10 simulated
+// minutes and serializes everything observable about the run: every pattern
+// query time, total events fired, per-class injection counts, and the
+// millisecond-exact per-window p99 of the downstream service.
+func arrivalFingerprint(seed int64, legacy bool, base Pattern, script func(eng *sim.Engine, g *Generator)) string {
+	eng := sim.NewEngine(seed)
+	app := testApp(eng)
+	rec := &recPattern{inner: base}
+	g := New(eng, app, rec, Mix{"a": 3, "b": 1})
+	g.legacy = legacy
+	if script != nil {
+		script(eng, g)
+	}
+	g.Start()
+	eng.RunUntil(10 * sim.Minute)
+	var b strings.Builder
+	fmt.Fprintf(&b, "fired=%d a=%d b=%d\n", eng.Fired(), g.Injected["a"], g.Injected["b"])
+	for _, ts := range rec.times {
+		fmt.Fprintf(&b, "%d,", int64(ts))
+	}
+	b.WriteString("\n")
+	p99 := app.Service("api").RespTime.PerWindowPercentile(10*sim.Minute, 99)
+	fmt.Fprintf(&b, "p99=%v\n", p99)
+	return b.String()
+}
+
+// TestBatchedMatchesLegacy is the batching property test: across many seeds
+// and load shapes (constant, diurnal, a zero-rate idle window), the batched
+// arrival path must reproduce the legacy one-timer-per-arrival path
+// byte-for-byte — same arrival times, same classes, same event count, same
+// downstream latencies.
+func TestBatchedMatchesLegacy(t *testing.T) {
+	shapes := map[string]Pattern{
+		"constant": Constant{Value: 120},
+		"diurnal":  Diurnal{Base: 40, Peak: 200, Period: 6 * sim.Minute},
+		// A dead window exercises the idle re-check path mid-run.
+		"idle-window": Modulate{Base: Constant{Value: 90}, Factor: 0, Start: 3 * sim.Minute, Len: 90 * sim.Second},
+	}
+	for name, shape := range shapes {
+		for seed := int64(1); seed <= 24; seed++ {
+			want := arrivalFingerprint(seed, true, shape, nil)
+			got := arrivalFingerprint(seed, false, shape, nil)
+			if want != got {
+				t.Fatalf("%s seed %d: batched arrivals diverge from legacy\nlegacy:  %.200s\nbatched: %.200s",
+					name, seed, want, got)
+			}
+		}
+	}
+}
+
+// TestSetPatternMidBlock pins the SetPattern/block interaction: an RPS step
+// injected mid-block (the batched path pre-draws 256 arrivals ≈ 2.6 s at
+// 100 RPS, so minute 4 is deep inside a block) must take effect at the next
+// arrival boundary exactly as the legacy path does — the already-armed gap
+// keeps the old rate, every later gap uses the new one.
+func TestSetPatternMidBlock(t *testing.T) {
+	script := func(eng *sim.Engine, g *Generator) {
+		eng.At(4*sim.Minute+137*sim.Millisecond, func() { g.SetPattern(Constant{Value: 400}) })
+		eng.At(7*sim.Minute+11*sim.Millisecond, func() { g.SetPattern(Constant{Value: 30}) })
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		want := arrivalFingerprint(seed, true, Constant{Value: 100}, script)
+		got := arrivalFingerprint(seed, false, Constant{Value: 100}, script)
+		if want != got {
+			t.Fatalf("seed %d: mid-block SetPattern diverges\nlegacy:  %.200s\nbatched: %.200s", seed, want, got)
+		}
+		// The step must actually be visible: ≥3x the base arrivals.
+		if n := countInjected(seed); n < 3*100*60 {
+			t.Fatalf("seed %d: RPS step not visible (%d arrivals)", seed, n)
+		}
+	}
+}
+
+func countInjected(seed int64) int {
+	eng := sim.NewEngine(seed)
+	app := testApp(eng)
+	g := New(eng, app, Constant{Value: 100}, Mix{"a": 1})
+	eng.At(4*sim.Minute, func() { g.SetPattern(Constant{Value: 400}) })
+	g.Start()
+	eng.RunUntil(10 * sim.Minute)
+	return g.Injected["a"]
+}
+
+// TestStopMidBlock pins the Stop/block interaction: stopping deep inside a
+// pre-drawn block halts injection at the very next arrival boundary, exactly
+// like the legacy path, with no stray arrivals from the unconsumed tail.
+func TestStopMidBlock(t *testing.T) {
+	script := func(eng *sim.Engine, g *Generator) {
+		eng.At(5*sim.Minute+731*sim.Millisecond, g.Stop)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		want := arrivalFingerprint(seed, true, Constant{Value: 150}, script)
+		got := arrivalFingerprint(seed, false, Constant{Value: 150}, script)
+		if want != got {
+			t.Fatalf("seed %d: mid-block Stop diverges\nlegacy:  %.200s\nbatched: %.200s", seed, want, got)
+		}
+	}
+}
+
+// allocsPerArrival measures steady-state heap allocations per arrival for
+// one arrival path, injection pipeline included (Job, Request, metrics — the
+// same in both paths, so the difference isolates the generator machinery).
+func allocsPerArrival(t *testing.T, legacy bool) float64 {
+	t.Helper()
+	eng := sim.NewEngine(9)
+	app := services.MustNewApp(eng, services.AppSpec{
+		Name: "alloc-test",
+		Services: []services.ServiceSpec{{
+			Name: "api", Threads: 64, CPUs: 8, InitialReplicas: 4,
+			Handlers: map[string][]services.Step{
+				"a": services.Seq(services.Compute{MeanMs: 0.001, CV: -1}),
+			},
+		}},
+		Classes: []services.ClassSpec{{Name: "a", Entry: "api", SLAPercentile: 99, SLAMillis: 100}},
+	})
+	g := New(eng, app, Constant{Value: 1000}, Mix{"a": 1})
+	g.legacy = legacy
+	g.Start()
+	eng.RunUntil(2 * sim.Minute) // warm slabs, Injected map, engine arena
+	before := g.Injected["a"]
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	eng.RunFor(time1)
+	runtime.ReadMemStats(&m1)
+	arrivals := g.Injected["a"] - before
+	if arrivals < 100 {
+		t.Fatalf("only %d arrivals in measured window", arrivals)
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(arrivals)
+}
+
+// TestBatchedArrivalAllocs pins the batching win: the batched path must
+// allocate measurably less per arrival than the retained legacy path (which
+// pays a fresh arrival closure per arrival, plus per-draw RNG overhead the
+// block refill amortizes into retained slabs).
+func TestBatchedArrivalAllocs(t *testing.T) {
+	legacyAllocs := allocsPerArrival(t, true)
+	batchedAllocs := allocsPerArrival(t, false)
+	if batchedAllocs > legacyAllocs-0.5 {
+		t.Fatalf("batched path allocates %.2f/arrival vs legacy %.2f — expected ≥0.5 saved",
+			batchedAllocs, legacyAllocs)
 	}
 }
