@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput bench-corpus validate-specs clean
 
 all: check
 
@@ -72,6 +72,22 @@ bench-throughput:
 		-benchmem ./internal/experiments \
 		| $(GO) run ./cmd/benchjson > BENCH_throughput.json
 	@echo wrote BENCH_throughput.json
+
+# bench-corpus runs the Fig. C1 generalization study: 100 topologies sampled
+# from the seeded random generator (internal/spec), each deployed under Ursa
+# and every baseline, reporting per-baseline win rates and worst cells. The
+# whole corpus is a pure function of the seed, so BENCH_corpus.json is
+# byte-reproducible; diff it to spot decision-quality regressions on apps
+# nobody hand-tuned. Takes ~15 minutes at scale 0.25.
+bench-corpus:
+	$(GO) run ./cmd/ursa-bench -exp figc1 -scale 0.25 -corpus-n 100 \
+		-corpus-json BENCH_corpus.json -out results
+	@echo wrote BENCH_corpus.json
+
+# validate-specs type-checks every checked-in declarative topology file; CI
+# runs this so a schema drift or a bad edit to examples/specs/ fails fast.
+validate-specs:
+	$(GO) run ./cmd/ursa-sim -validate examples/specs/*.yaml examples/specs/*.json
 
 clean:
 	$(GO) clean ./...

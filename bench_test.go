@@ -220,3 +220,16 @@ func BenchmarkAblation(b *testing.B) {
 		b.ReportMetric(float64(r.NoTTestActions), "no_ttest_actions")
 	}
 }
+
+// BenchmarkCorpus runs a small slice of the Fig. C1 generated-topology
+// study (Ursa vs default autoscaling over seeded random applications); the
+// full 100-topology × all-baselines corpus is `make bench-corpus`
+// (BENCH_corpus.json).
+func BenchmarkCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCorpus(benchOpts(),
+			experiments.CorpusParams{N: 5, Systems: []string{"ursa", "auto-a"}})
+		b.ReportMetric(r.Verdicts[0].WinRate*100, "win_rate_vs_auto_a_pct")
+		b.ReportMetric(r.Worst[0].ViolationRate*100, "ursa_worst_viol_pct")
+	}
+}

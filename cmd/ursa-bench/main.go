@@ -7,7 +7,9 @@
 //	ursa-bench -exp fig11 -apps social-network,media-service -scale 0.3
 //
 // Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
-// tab6, fig14, figf1 (fault injection / recovery), all. Scale < 1 shortens deployments and ML sample counts
+// tab6, fig14, figf1 (fault injection / recovery), figc1 (generated-topology
+// corpus; -corpus-n sizes it, -corpus-json also writes the machine-readable
+// result), all. Scale < 1 shortens deployments and ML sample counts
 // proportionally; shapes are preserved.
 //
 // Independent simulation cells run concurrently on a bounded worker pool
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|ablation|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|figc1|ablation|all")
 		scale    = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "results", "output directory")
@@ -37,6 +39,9 @@ func main() {
 		systems  = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+
+		corpusN    = flag.Int("corpus-n", 100, "number of generated topologies for figc1")
+		corpusJSON = flag.String("corpus-json", "", "also write the figc1 result as JSON to this path")
 	)
 	flag.Parse()
 
@@ -89,6 +94,16 @@ func main() {
 	run("tab6", func() string { return experiments.RunControlPlane(opts).Render() })
 	run("fig14", func() string { return experiments.RunAdaptation(opts).Render() })
 	run("figf1", func() string { return experiments.RunResilience(opts).Render() })
+	run("figc1", func() string {
+		r := experiments.RunCorpus(opts, experiments.CorpusParams{N: *corpusN, Systems: sysFilter})
+		if *corpusJSON != "" {
+			if err := os.WriteFile(*corpusJSON, r.JSON(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *corpusJSON)
+		}
+		return r.Render()
+	})
 	run("ablation", func() string { return experiments.RunAblation(opts).Render() })
 
 	// Experiments themselves are independent jobs: fan them over the same

@@ -5,10 +5,20 @@
 //
 //	ursa-sim -app social-network -system ursa -load dynamic -minutes 30
 //	ursa-sim -app video-pipeline -system auto-a -load constant
+//	ursa-sim -topology examples/specs/two-tier.json -system ursa
+//	ursa-sim -dump-topology media-service > my-app.yaml
+//	ursa-sim -validate examples/specs/*.yaml examples/specs/*.json
 //	ursa-sim -app social-network -system ursa -resilience -fail-node node-7 -fail-at 10 -fail-for 5
 //	ursa-sim -app social-network -system none -minutes 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Systems: ursa, sinan, firm, auto-a, auto-b, none.
+//
+// Topologies as data: -topology runs an application authored as a declarative
+// spec file (YAML or JSON — the schema the built-in apps themselves use, see
+// examples/specs/ and DESIGN.md §4g); -dump-topology prints any built-in app
+// (or a generated corpus-s<seed>-<n> member) in that same canonical form, so
+// the fastest way to author a variant is to dump a built-in and edit it.
+// -validate type-checks spec files without running anything.
 //
 // Profiling: -cpuprofile / -memprofile write runtime/pprof profiles of the
 // whole run (inspect with `go tool pprof`), so hot-path regressions are
@@ -26,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -37,6 +48,8 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/services"
 	"ursa/internal/sim"
+	"ursa/internal/spec"
+	"ursa/internal/topology"
 	"ursa/internal/trace"
 	"ursa/internal/workload"
 )
@@ -54,6 +67,9 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		specFile = flag.String("spec", "", "load a custom application spec from a JSON file (overrides -app; rate via -basirps)")
 		baseRPS  = flag.Float64("basirps", 100, "nominal RPS for a -spec application")
+		topoFile = flag.String("topology", "", "load an application from a declarative spec file (.yaml or .json, see examples/specs/); overrides -app")
+		dumpTopo = flag.String("dump-topology", "", "print the canonical spec of a built-in app or corpus-s<seed>-<n> member, then exit")
+		validate = flag.Bool("validate", false, "parse, validate and compile the spec files given as arguments, then exit (non-zero on error)")
 
 		failNode   = flag.String("fail-node", "", "crash this node mid-run (e.g. node-7); binds the app to the paper testbed cluster")
 		failAt     = flag.Float64("fail-at", 10, "minutes after warm-up at which the node fails")
@@ -71,6 +87,13 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *validate {
+		runValidate(flag.Args())
+	}
+	if *dumpTopo != "" {
+		runDumpTopology(*dumpTopo)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -105,24 +128,40 @@ func main() {
 	}()
 
 	var c experiments.AppCase
-	if *specFile != "" {
+	switch {
+	case *topoFile != "":
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := spec.Parse(filepath.Base(*topoFile), data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		compiled, err := spec.Build(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		c = experiments.AppCase{Name: compiled.Spec.Name, Spec: compiled.Spec,
+			Mix: compiled.Mix, TotalRPS: compiled.Rate}
+	case *specFile != "":
 		data, err := os.ReadFile(*specFile)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		var spec services.AppSpec
-		if err := json.Unmarshal(data, &spec); err != nil {
+		var appSpec services.AppSpec
+		if err := json.Unmarshal(data, &appSpec); err != nil {
 			fatalf("decoding %s: %v", *specFile, err)
 		}
-		if err := spec.Validate(); err != nil {
+		if err := appSpec.Validate(); err != nil {
 			fatalf("spec invalid: %v", err)
 		}
 		mix := workload.Mix{}
-		for _, class := range spec.EntryClasses() {
+		for _, class := range appSpec.EntryClasses() {
 			mix[class] = 1
 		}
-		c = experiments.AppCase{Name: spec.Name, Spec: spec, Mix: mix, TotalRPS: *baseRPS}
-	} else {
+		c = experiments.AppCase{Name: appSpec.Name, Spec: appSpec, Mix: mix, TotalRPS: *baseRPS}
+	default:
 		var ok bool
 		c, ok = experiments.AppCaseByName(*appName)
 		if !ok {
@@ -331,6 +370,66 @@ func writeMetrics(path string, app *services.App, spec services.AppSpec) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runValidate parses, validates and compiles each spec file, reporting every
+// failure before exiting; the exit status is non-zero if any file is invalid.
+func runValidate(files []string) {
+	if len(files) == 0 {
+		fatalf("-validate: no spec files given")
+	}
+	bad := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var f *spec.File
+			if f, err = spec.Parse(filepath.Base(path), data); err == nil {
+				_, err = spec.Build(f)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok %s\n", path)
+	}
+	if bad > 0 {
+		fatalf("%d of %d spec files invalid", bad, len(files))
+	}
+	os.Exit(0)
+}
+
+// runDumpTopology prints the canonical spec of a built-in application or a
+// generated corpus member (name form corpus-s<seed>-<index>, as reported by
+// the figc1 experiment), then exits.
+func runDumpTopology(name string) {
+	var (
+		appSpec services.AppSpec
+		mix     workload.Mix
+		rate    float64
+	)
+	if app, ok := topology.AppByName(name); ok {
+		appSpec, mix, rate = app.Spec, app.Mix, app.RPS
+	} else {
+		var seed int64
+		var idx int
+		if n, _ := fmt.Sscanf(name, "corpus-s%d-%d", &seed, &idx); n == 2 {
+			c, _, err := experiments.GenerateCorpusCase(seed, idx)
+			if err != nil {
+				fatalf("generating %s: %v", name, err)
+			}
+			appSpec, mix, rate = c.Spec, c.Mix, c.TotalRPS
+		} else {
+			fatalf("unknown topology %q (want a built-in app or corpus-s<seed>-<n>)", name)
+		}
+	}
+	data, err := spec.Dump(appSpec, mix, rate)
+	if err != nil {
+		fatalf("dumping %s: %v", name, err)
+	}
+	os.Stdout.Write(data)
+	os.Exit(0)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,14 @@
+// Package specs embeds the checked-in topology spec files so the topology
+// package and the simulator binaries can load the benchmark applications
+// without depending on a filesystem path. The files themselves are the
+// source of truth for the §VI benchmark apps; internal/topology compiles
+// them through internal/spec.
+package specs
+
+import "embed"
+
+// FS holds every checked-in spec document, addressed by bare filename
+// (e.g. "social-network.yaml").
+//
+//go:embed *.yaml *.json
+var FS embed.FS

@@ -221,6 +221,56 @@ func TestAblationShapes(t *testing.T) {
 	}
 }
 
+func TestCorpusShapes(t *testing.T) {
+	r := RunCorpus(quick(), CorpusParams{N: 3, Systems: []string{"ursa", "auto-a"}})
+	if len(r.Topologies) != 3 {
+		t.Fatalf("topologies = %d", len(r.Topologies))
+	}
+	if len(r.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(r.Cells))
+	}
+	for _, topo := range r.Topologies {
+		if topo.Services < 2 || topo.RPS <= 0 {
+			t.Errorf("degenerate topology %+v", topo)
+		}
+	}
+	if len(r.Verdicts) != 1 || r.Verdicts[0].Baseline != "auto-a" {
+		t.Fatalf("verdicts: %+v", r.Verdicts)
+	}
+	v := r.Verdicts[0]
+	if v.Wins+v.Ties+v.Losses != 3 {
+		t.Errorf("verdict does not cover corpus: %+v", v)
+	}
+	if len(r.Worst) != 2 {
+		t.Errorf("worst: %+v", r.Worst)
+	}
+	if !strings.Contains(r.Render(), "Fig.C1") {
+		t.Error("render missing header")
+	}
+	// The JSON artifact is deterministic: same opts, same bytes.
+	r2 := RunCorpus(quick(), CorpusParams{N: 3, Systems: []string{"ursa", "auto-a"}})
+	if string(r.JSON()) != string(r2.JSON()) {
+		t.Error("corpus JSON not reproducible for identical options")
+	}
+}
+
+func TestCorpusBeats(t *testing.T) {
+	meets := func(cpus float64) CorpusCell { return CorpusCell{ViolationRate: 0.01, AvgCPUs: cpus} }
+	fails := func(v float64) CorpusCell { return CorpusCell{ViolationRate: v, AvgCPUs: 10} }
+	if !corpusBeats(meets(10), fails(0.5)) {
+		t.Error("meeting SLA must beat failing it")
+	}
+	if !corpusBeats(meets(8), meets(10)) {
+		t.Error("meeting on fewer CPUs must win")
+	}
+	if corpusBeats(meets(10), meets(10.1)) {
+		t.Error("within 2% CPUs is a tie")
+	}
+	if !corpusBeats(fails(0.2), fails(0.4)) || corpusBeats(fails(0.4), fails(0.2)) {
+		t.Error("among failures, lower violation wins")
+	}
+}
+
 func TestSolveGenericMIPWiring(t *testing.T) {
 	// The exact MIP (1) toy instance: δ picks the cheap points (cost 2+3)
 	// whose best percentile latencies 10+15 fit the 40ms target.

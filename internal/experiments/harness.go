@@ -92,14 +92,21 @@ type AppCase struct {
 	TotalRPS float64
 }
 
-// AppCases returns the §VII-E evaluation applications.
+// AppCases returns the §VII-E evaluation applications, sourced from the
+// spec-compiled topology layer. The order is fixed (it reaches rendered
+// table row order) and intentionally not alphabetical: vanilla rides next to
+// its parent app, as in the paper's tables.
 func AppCases() []AppCase {
-	return []AppCase{
-		{"social-network", topology.SocialNetwork(), topology.SocialNetworkMix(), 100},
-		{"vanilla-social-network", topology.VanillaSocialNetwork(), topology.VanillaSocialNetworkMix(), 100},
-		{"media-service", topology.MediaService(), topology.MediaServiceMix(), 60},
-		{"video-pipeline", topology.VideoPipeline(), topology.VideoPipelineMix(50, 50), 4},
+	order := []string{"social-network", "vanilla-social-network", "media-service", "video-pipeline"}
+	cases := make([]AppCase, 0, len(order))
+	for _, name := range order {
+		a, ok := topology.AppByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: benchmark app %q missing from topology", name))
+		}
+		cases = append(cases, AppCase{a.Name, a.Spec, a.Mix, a.RPS})
 	}
+	return cases
 }
 
 // AppCaseByName finds a case.

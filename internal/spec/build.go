@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"fmt"
+
+	"ursa/internal/services"
+	"ursa/internal/workload"
+)
+
+// Kind defaults: the two service profiles of the benchmark apps (§VI).
+// "rpc" is an interactive service — effectively unbounded gRPC-style
+// handlers and an ingress stage whose flow-control window produces
+// backpressure. "worker" is a bounded MQ-consumer pool with no ingress.
+// Explicit fields in the spec override these.
+const (
+	rpcDefaultThreads       = 4096
+	rpcDefaultDaemons       = 64
+	rpcDefaultIngressCostMs = 0.2
+	rpcDefaultIngressWindow = 32
+	workerDefaultThreads    = 8
+	workerDefaultDaemons    = 16
+)
+
+// Compiled is the output of Build: the simulator-native application spec
+// plus the declared workload.
+type Compiled struct {
+	// Spec is the deployable application.
+	Spec services.AppSpec
+	// Mix is the declared request mix (nil when the file has no workload
+	// section).
+	Mix workload.Mix
+	// Rate is the declared total RPS (0 when the file has no workload
+	// section).
+	Rate float64
+}
+
+// Build compiles a validated File into a services.AppSpec and workload.Mix.
+// The file should come from Parse (or have had Validate called); Build
+// revalidates cheaply and reports any inconsistency as a field-path error.
+func Build(f *File) (Compiled, error) {
+	if err := f.Validate(); err != nil {
+		return Compiled{}, err
+	}
+	var out Compiled
+	out.Spec.Name = f.App
+	for i := range f.Services {
+		ss, err := buildService(&f.Services[i])
+		if err != nil {
+			return Compiled{}, err
+		}
+		out.Spec.Services = append(out.Spec.Services, ss)
+	}
+	for _, c := range f.Classes {
+		out.Spec.Classes = append(out.Spec.Classes, services.ClassSpec{
+			Name:          c.Name,
+			Entry:         c.Entry,
+			Priority:      c.Priority,
+			SLAPercentile: c.SLA.Percentile,
+			SLAMillis:     c.SLA.LatencyMs,
+			Derived:       c.Derived,
+		})
+	}
+	if f.Workload != nil {
+		out.Rate = f.Workload.Rate
+		out.Mix = workload.Mix{}
+		for _, e := range f.Workload.Mix {
+			out.Mix[e.Class] = e.Weight
+		}
+	}
+	// The compiled spec must satisfy the simulator's own validator too —
+	// belt and braces; the spec-level walker is strictly stricter today.
+	if err := out.Spec.Validate(); err != nil {
+		return Compiled{}, fmt.Errorf("compiled spec invalid: %w", err)
+	}
+	return out, nil
+}
+
+func buildService(s *Service) (services.ServiceSpec, error) {
+	ss := services.ServiceSpec{
+		Name:            s.Name,
+		CPUs:            s.CPUs,
+		InitialReplicas: s.Replicas,
+		MaxReplicas:     s.MaxReplicas,
+		StartupDelaySec: s.StartupDelaySec,
+		Handlers:        map[string][]services.Step{},
+	}
+	switch s.Kind {
+	case "rpc":
+		ss.Threads = rpcDefaultThreads
+		ss.Daemons = rpcDefaultDaemons
+		ss.IngressCostMs = rpcDefaultIngressCostMs
+		ss.IngressWindow = rpcDefaultIngressWindow
+	case "worker":
+		ss.Threads = workerDefaultThreads
+		ss.Daemons = workerDefaultDaemons
+	default:
+		return ss, errf("services."+s.Name+".kind", "unknown kind %q", s.Kind)
+	}
+	if s.Threads > 0 {
+		ss.Threads = s.Threads
+	}
+	if s.Daemons > 0 {
+		ss.Daemons = s.Daemons
+	}
+	if s.Ingress != nil {
+		ss.IngressCostMs = s.Ingress.CostMs
+		ss.IngressWindow = s.Ingress.Window
+		if ss.IngressCostMs > 0 && ss.IngressWindow == 0 {
+			ss.IngressWindow = rpcDefaultIngressWindow
+		}
+		if ss.IngressCostMs == 0 {
+			ss.IngressWindow = 0
+		}
+	}
+	for _, op := range s.Operations {
+		steps, err := buildSteps(op.Steps)
+		if err != nil {
+			return ss, err
+		}
+		ss.Handlers[op.Name] = steps
+	}
+	return ss, nil
+}
+
+func buildSteps(in []Step) ([]services.Step, error) {
+	var out []services.Step
+	for i := range in {
+		st := &in[i]
+		switch st.Kind {
+		case StepCompute:
+			cv := st.CV
+			if cv == 0 && st.Duration.DevMs > 0 {
+				cv = st.Duration.DevMs / st.Duration.MeanMs
+			}
+			out = append(out, services.Compute{MeanMs: st.Duration.MeanMs, CV: cv})
+		case StepCall:
+			mode, err := buildMode(st.Mode)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, services.Call{Service: st.Service, Mode: mode, Class: st.Class})
+		case StepSpawn:
+			out = append(out, services.Spawn{Service: st.Service, Class: st.Class})
+		case StepPar:
+			p := services.Par{}
+			for bi := range st.Branches {
+				steps, err := buildSteps(st.Branches[bi].Steps)
+				if err != nil {
+					return nil, err
+				}
+				p.Branches = append(p.Branches, steps)
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("spec: unknown step kind %v", st.Kind)
+		}
+	}
+	return out, nil
+}
+
+func buildMode(s string) (services.CallMode, error) {
+	switch s {
+	case "", "nested-rpc":
+		return services.NestedRPC, nil
+	case "event-rpc":
+		return services.EventRPC, nil
+	case "mq":
+		return services.MQ, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown call mode %q", s)
+	}
+}

@@ -1,0 +1,565 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse loads a topology spec from YAML or JSON source. Format is chosen by
+// filename extension (".json" = JSON, anything else = YAML); name is used
+// only for error messages and may be empty. The returned File has passed
+// both structural decoding and semantic validation.
+func Parse(name string, data []byte) (*File, error) {
+	var root *node
+	var err error
+	if strings.EqualFold(filepath.Ext(name), ".json") {
+		root, err = parseJSONNode(data)
+	} else {
+		root, err = parseYAML(string(data))
+	}
+	if err != nil {
+		return nil, prefixErr(name, &Error{Msg: err.Error()})
+	}
+	f, derr := decodeFile(root)
+	if derr != nil {
+		return nil, prefixErr(name, derr)
+	}
+	if verr := f.Validate(); verr != nil {
+		if e, ok := verr.(*Error); ok {
+			return nil, prefixErr(name, e)
+		}
+		return nil, prefixErr(name, &Error{Msg: verr.Error()})
+	}
+	return f, nil
+}
+
+// prefixErr attaches the file name to a loader error's path.
+func prefixErr(name string, e *Error) error {
+	if name == "" {
+		return e
+	}
+	if e.Path == "" {
+		return &Error{Path: name, Msg: e.Msg}
+	}
+	return &Error{Path: name + ": " + e.Path, Msg: e.Msg}
+}
+
+// parseJSONNode converts a JSON document into the shared node tree. Numbers
+// and booleans become their canonical string forms; the decoder re-types
+// them by expected field type, exactly as for YAML scalars.
+func parseJSONNode(data []byte) (*node, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return jsonToNode(v), nil
+}
+
+func jsonToNode(v any) *node {
+	switch t := v.(type) {
+	case map[string]any:
+		out := &node{kind: mapNode}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out.pairs = append(out.pairs, pair{key: k, value: jsonToNode(t[k])})
+		}
+		return out
+	case []any:
+		out := &node{kind: seqNode}
+		for _, item := range t {
+			out.items = append(out.items, jsonToNode(item))
+		}
+		return out
+	case json.Number:
+		return &node{kind: scalarNode, scalar: t.String()}
+	case string:
+		return &node{kind: scalarNode, scalar: t, quoted: true}
+	case bool:
+		return &node{kind: scalarNode, scalar: strconv.FormatBool(t)}
+	case nil:
+		return &node{kind: scalarNode, scalar: ""}
+	default:
+		return &node{kind: scalarNode, scalar: fmt.Sprint(t)}
+	}
+}
+
+// ---- structural decoding with field paths ----
+
+func decodeFile(root *node) (*File, *Error) {
+	if root.kind != mapNode {
+		return nil, errf("", "top level must be a mapping")
+	}
+	f := &File{}
+	if err := checkKeys(root, "", "version", "app", "services", "classes", "workload"); err != nil {
+		return nil, err
+	}
+	var err *Error
+	if f.Version, err = intField(root, "", "version", true); err != nil {
+		return nil, err
+	}
+	if f.App, err = strField(root, "", "app", true); err != nil {
+		return nil, err
+	}
+	svcs := root.get("services")
+	if svcs == nil || svcs.kind != seqNode {
+		return nil, errf("services", "required sequence missing")
+	}
+	for i, sn := range svcs.items {
+		sv, err := decodeService(sn, fmt.Sprintf("services[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		f.Services = append(f.Services, sv)
+	}
+	classes := root.get("classes")
+	if classes == nil || classes.kind != seqNode {
+		return nil, errf("classes", "required sequence missing")
+	}
+	for i, cn := range classes.items {
+		c, err := decodeClass(cn, fmt.Sprintf("classes[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	if wn := root.get("workload"); wn != nil {
+		w, err := decodeWorkload(wn, "workload")
+		if err != nil {
+			return nil, err
+		}
+		f.Workload = w
+	}
+	return f, nil
+}
+
+func decodeService(n *node, path string) (Service, *Error) {
+	var s Service
+	if n.kind != mapNode {
+		return s, errf(path, "service must be a mapping")
+	}
+	var err *Error
+	if s.Name, err = strField(n, path, "name", true); err != nil {
+		return s, err
+	}
+	// From here on, name the service in paths — friendlier than an index.
+	path = "services." + s.Name
+	if err := checkKeys(n, path, "name", "kind", "cpus", "replicas", "threads",
+		"daemons", "max_replicas", "startup_delay", "ingress", "operations"); err != nil {
+		return s, err
+	}
+	if s.Kind, err = strField(n, path, "kind", true); err != nil {
+		return s, err
+	}
+	if s.CPUs, err = floatField(n, path, "cpus"); err != nil {
+		return s, err
+	}
+	if s.Replicas, err = intField(n, path, "replicas", false); err != nil {
+		return s, err
+	}
+	if s.Threads, err = intField(n, path, "threads", false); err != nil {
+		return s, err
+	}
+	if s.Daemons, err = intField(n, path, "daemons", false); err != nil {
+		return s, err
+	}
+	if s.MaxReplicas, err = intField(n, path, "max_replicas", false); err != nil {
+		return s, err
+	}
+	if sd := n.get("startup_delay"); sd != nil {
+		d, err := durationField(sd, path+".startup_delay")
+		if err != nil {
+			return s, err
+		}
+		if d.DevMs != 0 {
+			return s, errf(path+".startup_delay", "spread syntax not allowed here")
+		}
+		s.StartupDelaySec = d.MeanMs / 1000
+	}
+	if in := n.get("ingress"); in != nil {
+		ing, err := decodeIngress(in, path+".ingress")
+		if err != nil {
+			return s, err
+		}
+		s.Ingress = ing
+	}
+	ops := n.get("operations")
+	if ops == nil || ops.kind != mapNode {
+		return s, errf(path+".operations", "required mapping missing")
+	}
+	for _, p := range ops.pairs {
+		opPath := path + ".operations." + p.key
+		op, err := decodeOperation(p.key, p.value, opPath)
+		if err != nil {
+			return s, err
+		}
+		for _, prev := range s.Operations {
+			if prev.Name == op.Name {
+				return s, errf(opPath, "duplicate operation %q", op.Name)
+			}
+		}
+		s.Operations = append(s.Operations, op)
+	}
+	return s, nil
+}
+
+func decodeIngress(n *node, path string) (*Ingress, *Error) {
+	if n.kind != mapNode {
+		return nil, errf(path, "ingress must be a mapping")
+	}
+	if err := checkKeys(n, path, "cost", "window"); err != nil {
+		return nil, err
+	}
+	ing := &Ingress{}
+	if cn := n.get("cost"); cn != nil {
+		d, err := durationField(cn, path+".cost")
+		if err != nil {
+			return nil, err
+		}
+		if d.DevMs != 0 {
+			return nil, errf(path+".cost", "spread syntax not allowed here")
+		}
+		ing.CostMs = d.MeanMs
+	}
+	var err *Error
+	if ing.Window, err = intField(n, path, "window", false); err != nil {
+		return nil, err
+	}
+	return ing, nil
+}
+
+func decodeOperation(name string, n *node, path string) (Operation, *Error) {
+	op := Operation{Name: name}
+	if n.kind != mapNode {
+		return op, errf(path, "operation must be a mapping with a steps list")
+	}
+	if err := checkKeys(n, path, "steps"); err != nil {
+		return op, err
+	}
+	steps := n.get("steps")
+	if steps == nil || steps.kind != seqNode {
+		return op, errf(path+".steps", "required sequence missing")
+	}
+	var err *Error
+	if op.Steps, err = decodeSteps(steps, path+".steps"); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+func decodeSteps(n *node, path string) ([]Step, *Error) {
+	var out []Step
+	for i, sn := range n.items {
+		st, err := decodeStep(sn, fmt.Sprintf("%s[%d]", path, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func decodeStep(n *node, path string) (Step, *Error) {
+	var st Step
+	if n.kind != mapNode || len(n.pairs) != 1 {
+		return st, errf(path, "step must be a single-key mapping: compute | call | spawn | par")
+	}
+	key, val := n.pairs[0].key, n.pairs[0].value
+	switch key {
+	case "compute":
+		st.Kind = StepCompute
+		switch val.kind {
+		case scalarNode:
+			d, err := parseDuration(val.scalar)
+			if err != nil {
+				return st, errf(path+".compute", "%v", err)
+			}
+			st.Duration = d
+		case mapNode:
+			if err := checkKeys(val, path+".compute", "duration", "cv"); err != nil {
+				return st, err
+			}
+			dn := val.get("duration")
+			if dn == nil {
+				return st, errf(path+".compute.duration", "required field missing")
+			}
+			d, err := durationField(dn, path+".compute.duration")
+			if err != nil {
+				return st, err
+			}
+			st.Duration = d
+			var derr *Error
+			if st.CV, derr = floatField(val, path+".compute", "cv"); derr != nil {
+				return st, derr
+			}
+			if st.CV != 0 && st.Duration.DevMs != 0 {
+				return st, errf(path+".compute", "cv and +/- spread are mutually exclusive")
+			}
+		default:
+			return st, errf(path+".compute", "want a duration or {duration, cv}")
+		}
+	case "call":
+		st.Kind = StepCall
+		switch val.kind {
+		case scalarNode:
+			if val.scalar == "" {
+				return st, errf(path+".call", "empty service name")
+			}
+			st.Service = val.scalar
+		case mapNode:
+			if err := checkKeys(val, path+".call", "service", "mode", "class"); err != nil {
+				return st, err
+			}
+			var err *Error
+			if st.Service, err = strField(val, path+".call", "service", true); err != nil {
+				return st, err
+			}
+			if st.Mode, err = strField(val, path+".call", "mode", false); err != nil {
+				return st, err
+			}
+			if st.Class, err = strField(val, path+".call", "class", false); err != nil {
+				return st, err
+			}
+		default:
+			return st, errf(path+".call", "want a service name or {service, mode, class}")
+		}
+		if st.Mode != "" && st.Mode != "nested-rpc" && st.Mode != "event-rpc" && st.Mode != "mq" {
+			return st, errf(path+".call.mode", "unknown call mode %q (want nested-rpc|event-rpc|mq)", st.Mode)
+		}
+	case "spawn":
+		st.Kind = StepSpawn
+		if val.kind != mapNode {
+			return st, errf(path+".spawn", "want {service, class}")
+		}
+		if err := checkKeys(val, path+".spawn", "service", "class"); err != nil {
+			return st, err
+		}
+		var err *Error
+		if st.Service, err = strField(val, path+".spawn", "service", true); err != nil {
+			return st, err
+		}
+		if st.Class, err = strField(val, path+".spawn", "class", true); err != nil {
+			return st, err
+		}
+	case "par":
+		st.Kind = StepPar
+		if val.kind != mapNode {
+			return st, errf(path+".par", "want {branches: [...]}")
+		}
+		if err := checkKeys(val, path+".par", "branches"); err != nil {
+			return st, err
+		}
+		brs := val.get("branches")
+		if brs == nil || brs.kind != seqNode {
+			return st, errf(path+".par.branches", "required sequence missing")
+		}
+		for i, bn := range brs.items {
+			bPath := fmt.Sprintf("%s.par.branches[%d]", path, i)
+			if bn.kind != mapNode {
+				return st, errf(bPath, "branch must be a mapping with a steps list")
+			}
+			if err := checkKeys(bn, bPath, "steps"); err != nil {
+				return st, err
+			}
+			sn := bn.get("steps")
+			if sn == nil || sn.kind != seqNode {
+				return st, errf(bPath+".steps", "required sequence missing")
+			}
+			steps, err := decodeSteps(sn, bPath+".steps")
+			if err != nil {
+				return st, err
+			}
+			st.Branches = append(st.Branches, Branch{Steps: steps})
+		}
+	default:
+		return st, errf(path, "unknown step kind %q (want compute|call|spawn|par)", key)
+	}
+	return st, nil
+}
+
+func decodeClass(n *node, path string) (Class, *Error) {
+	var c Class
+	if n.kind != mapNode {
+		return c, errf(path, "class must be a mapping")
+	}
+	if err := checkKeys(n, path, "name", "entry", "priority", "derived", "sla"); err != nil {
+		return c, err
+	}
+	var err *Error
+	if c.Name, err = strField(n, path, "name", true); err != nil {
+		return c, err
+	}
+	path = "classes." + c.Name
+	if c.Entry, err = strField(n, path, "entry", false); err != nil {
+		return c, err
+	}
+	if c.Priority, err = intField(n, path, "priority", false); err != nil {
+		return c, err
+	}
+	if c.Derived, err = boolField(n, path, "derived"); err != nil {
+		return c, err
+	}
+	sn := n.get("sla")
+	if sn == nil || sn.kind != mapNode {
+		return c, errf(path+".sla", "required mapping missing")
+	}
+	if err := checkKeys(sn, path+".sla", "percentile", "latency"); err != nil {
+		return c, err
+	}
+	if c.SLA.Percentile, err = floatField(sn, path+".sla", "percentile"); err != nil {
+		return c, err
+	}
+	ln := sn.get("latency")
+	if ln == nil {
+		return c, errf(path+".sla.latency", "required field missing")
+	}
+	d, err := durationField(ln, path+".sla.latency")
+	if err != nil {
+		return c, err
+	}
+	if d.DevMs != 0 {
+		return c, errf(path+".sla.latency", "spread syntax not allowed here")
+	}
+	c.SLA.LatencyMs = d.MeanMs
+	return c, nil
+}
+
+func decodeWorkload(n *node, path string) (*Workload, *Error) {
+	if n.kind != mapNode {
+		return nil, errf(path, "workload must be a mapping")
+	}
+	if err := checkKeys(n, path, "rate", "mix"); err != nil {
+		return nil, err
+	}
+	w := &Workload{}
+	var err *Error
+	if w.Rate, err = floatField(n, path, "rate"); err != nil {
+		return nil, err
+	}
+	mn := n.get("mix")
+	if mn == nil || mn.kind != mapNode {
+		return nil, errf(path+".mix", "required mapping missing")
+	}
+	for _, p := range mn.pairs {
+		v, err := scalarFloat(p.value, path+".mix."+p.key)
+		if err != nil {
+			return nil, err
+		}
+		w.Mix = append(w.Mix, MixEntry{Class: p.key, Weight: v})
+	}
+	return w, nil
+}
+
+// ---- typed field helpers ----
+
+func checkKeys(n *node, path string, allowed ...string) *Error {
+	for _, p := range n.pairs {
+		ok := false
+		for _, a := range allowed {
+			if p.key == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			at := p.key
+			if path != "" {
+				at = path + "." + p.key
+			}
+			return errf(at, "unknown field (known fields: %s)", strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+func fieldPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+func strField(n *node, path, key string, required bool) (string, *Error) {
+	fn := n.get(key)
+	if fn == nil {
+		if required {
+			return "", errf(fieldPath(path, key), "required field missing")
+		}
+		return "", nil
+	}
+	if fn.kind != scalarNode {
+		return "", errf(fieldPath(path, key), "want a string")
+	}
+	if fn.scalar == "" && required {
+		return "", errf(fieldPath(path, key), "must not be empty")
+	}
+	return fn.scalar, nil
+}
+
+func intField(n *node, path, key string, required bool) (int, *Error) {
+	fn := n.get(key)
+	if fn == nil {
+		if required {
+			return 0, errf(fieldPath(path, key), "required field missing")
+		}
+		return 0, nil
+	}
+	if fn.kind != scalarNode {
+		return 0, errf(fieldPath(path, key), "want an integer")
+	}
+	v, err := strconv.Atoi(fn.scalar)
+	if err != nil {
+		return 0, errf(fieldPath(path, key), "want an integer, got %q", fn.scalar)
+	}
+	return v, nil
+}
+
+func floatField(n *node, path, key string) (float64, *Error) {
+	fn := n.get(key)
+	if fn == nil {
+		return 0, nil
+	}
+	return scalarFloat(fn, fieldPath(path, key))
+}
+
+func scalarFloat(fn *node, at string) (float64, *Error) {
+	if fn.kind != scalarNode {
+		return 0, errf(at, "want a number")
+	}
+	v, err := strconv.ParseFloat(fn.scalar, 64)
+	if err != nil {
+		return 0, errf(at, "want a number, got %q", fn.scalar)
+	}
+	return v, nil
+}
+
+func boolField(n *node, path, key string) (bool, *Error) {
+	fn := n.get(key)
+	if fn == nil {
+		return false, nil
+	}
+	if fn.kind != scalarNode || (fn.scalar != "true" && fn.scalar != "false") {
+		return false, errf(fieldPath(path, key), "want true or false")
+	}
+	return fn.scalar == "true", nil
+}
+
+func durationField(fn *node, at string) (Duration, *Error) {
+	if fn.kind != scalarNode {
+		return Duration{}, errf(at, "want a duration like \"30ms\"")
+	}
+	d, err := parseDuration(fn.scalar)
+	if err != nil {
+		return Duration{}, errf(at, "%v", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,248 @@
+package spec
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"ursa/internal/services"
+	"ursa/internal/workload"
+)
+
+// Canonical lifts a simulator-native application (plus its nominal workload)
+// back into the declarative wire form, choosing the most compact canonical
+// encoding: service kind is inferred from the ingress profile, fields equal
+// to the kind defaults are omitted, operations and mix entries are sorted by
+// name. parse(dump(app)) reproduces app exactly (pinned by test for every
+// built-in).
+func Canonical(spec services.AppSpec, mix workload.Mix, rate float64) (*File, error) {
+	f := &File{Version: Version, App: spec.Name}
+	for i := range spec.Services {
+		sv, err := canonicalService(&spec.Services[i])
+		if err != nil {
+			return nil, err
+		}
+		f.Services = append(f.Services, sv)
+	}
+	for _, c := range spec.Classes {
+		f.Classes = append(f.Classes, Class{
+			Name:     c.Name,
+			Entry:    c.Entry,
+			Priority: c.Priority,
+			Derived:  c.Derived,
+			SLA:      SLA{Percentile: c.SLAPercentile, LatencyMs: c.SLAMillis},
+		})
+	}
+	if rate > 0 || len(mix) > 0 {
+		w := &Workload{Rate: rate}
+		classes := make([]string, 0, len(mix))
+		for c := range mix {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			w.Mix = append(w.Mix, MixEntry{Class: c, Weight: mix[c]})
+		}
+		f.Workload = w
+	}
+	return f, nil
+}
+
+func canonicalService(s *services.ServiceSpec) (Service, error) {
+	sv := Service{
+		Name:            s.Name,
+		CPUs:            s.CPUs,
+		Replicas:        s.InitialReplicas,
+		MaxReplicas:     s.MaxReplicas,
+		StartupDelaySec: s.StartupDelaySec,
+	}
+	if s.IngressCostMs > 0 {
+		sv.Kind = "rpc"
+		if s.Threads != rpcDefaultThreads {
+			sv.Threads = s.Threads
+		}
+		if s.Daemons != rpcDefaultDaemons {
+			sv.Daemons = s.Daemons
+		}
+		if s.IngressCostMs != rpcDefaultIngressCostMs || s.IngressWindow != rpcDefaultIngressWindow {
+			sv.Ingress = &Ingress{CostMs: s.IngressCostMs, Window: s.IngressWindow}
+		}
+	} else {
+		sv.Kind = "worker"
+		if s.Threads != workerDefaultThreads {
+			sv.Threads = s.Threads
+		}
+		if s.Daemons != workerDefaultDaemons {
+			sv.Daemons = s.Daemons
+		}
+	}
+	classes := make([]string, 0, len(s.Handlers))
+	for c := range s.Handlers {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		steps, err := canonicalSteps(s.Handlers[c])
+		if err != nil {
+			return sv, fmt.Errorf("service %s operation %s: %w", s.Name, c, err)
+		}
+		sv.Operations = append(sv.Operations, Operation{Name: c, Steps: steps})
+	}
+	return sv, nil
+}
+
+func canonicalSteps(in []services.Step) ([]Step, error) {
+	var out []Step
+	for _, st := range in {
+		switch s := st.(type) {
+		case services.Compute:
+			out = append(out, Step{Kind: StepCompute, Duration: Duration{MeanMs: s.MeanMs}, CV: s.CV})
+		case services.Call:
+			out = append(out, Step{Kind: StepCall, Service: s.Service, Mode: s.Mode.String(), Class: s.Class})
+		case services.Spawn:
+			out = append(out, Step{Kind: StepSpawn, Service: s.Service, Class: s.Class})
+		case services.Par:
+			p := Step{Kind: StepPar}
+			for _, br := range s.Branches {
+				steps, err := canonicalSteps(br)
+				if err != nil {
+					return nil, err
+				}
+				p.Branches = append(p.Branches, Branch{Steps: steps})
+			}
+			out = append(out, p)
+		default:
+			return nil, fmt.Errorf("cannot encode step %T", st)
+		}
+	}
+	return out, nil
+}
+
+// Dump renders an application (plus its nominal workload) as a canonical
+// YAML spec document.
+func Dump(spec services.AppSpec, mix workload.Mix, rate float64) ([]byte, error) {
+	f, err := Canonical(spec, mix, rate)
+	if err != nil {
+		return nil, err
+	}
+	return f.Encode(), nil
+}
+
+// Encode renders the File as canonical YAML.
+func (f *File) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version: %d\n", f.Version)
+	fmt.Fprintf(&b, "app: %s\n", yamlScalar(f.App))
+	b.WriteString("\nservices:\n")
+	for i := range f.Services {
+		encodeService(&b, &f.Services[i])
+	}
+	b.WriteString("\nclasses:\n")
+	for i := range f.Classes {
+		encodeClass(&b, &f.Classes[i])
+	}
+	if f.Workload != nil {
+		b.WriteString("\nworkload:\n")
+		fmt.Fprintf(&b, "  rate: %s\n", formatFloat(f.Workload.Rate))
+		if len(f.Workload.Mix) > 0 {
+			b.WriteString("  mix:\n")
+			for _, e := range f.Workload.Mix {
+				fmt.Fprintf(&b, "    %s: %s\n", yamlScalar(e.Class), formatFloat(e.Weight))
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+func encodeService(b *strings.Builder, s *Service) {
+	fmt.Fprintf(b, "  - name: %s\n", yamlScalar(s.Name))
+	fmt.Fprintf(b, "    kind: %s\n", s.Kind)
+	fmt.Fprintf(b, "    cpus: %s\n", formatFloat(s.CPUs))
+	fmt.Fprintf(b, "    replicas: %d\n", s.Replicas)
+	if s.Threads > 0 {
+		fmt.Fprintf(b, "    threads: %d\n", s.Threads)
+	}
+	if s.Daemons > 0 {
+		fmt.Fprintf(b, "    daemons: %d\n", s.Daemons)
+	}
+	if s.MaxReplicas > 0 {
+		fmt.Fprintf(b, "    max_replicas: %d\n", s.MaxReplicas)
+	}
+	if s.StartupDelaySec > 0 {
+		fmt.Fprintf(b, "    startup_delay: %s\n", formatMs(s.StartupDelaySec*1000))
+	}
+	if s.Ingress != nil {
+		b.WriteString("    ingress:\n")
+		fmt.Fprintf(b, "      cost: %s\n", formatMs(s.Ingress.CostMs))
+		fmt.Fprintf(b, "      window: %d\n", s.Ingress.Window)
+	}
+	b.WriteString("    operations:\n")
+	for i := range s.Operations {
+		op := &s.Operations[i]
+		fmt.Fprintf(b, "      %s:\n", yamlScalar(op.Name))
+		b.WriteString("        steps:\n")
+		encodeSteps(b, op.Steps, "          ")
+	}
+}
+
+func encodeSteps(b *strings.Builder, steps []Step, indent string) {
+	for i := range steps {
+		st := &steps[i]
+		switch st.Kind {
+		case StepCompute:
+			if st.CV != 0 {
+				fmt.Fprintf(b, "%s- compute: {duration: %s, cv: %s}\n",
+					indent, formatMs(st.Duration.MeanMs), formatFloat(st.CV))
+			} else {
+				fmt.Fprintf(b, "%s- compute: {duration: %s}\n", indent, formatMs(st.Duration.MeanMs))
+			}
+		case StepCall:
+			if st.Class != "" {
+				fmt.Fprintf(b, "%s- call: {service: %s, mode: %s, class: %s}\n",
+					indent, yamlScalar(st.Service), st.Mode, yamlScalar(st.Class))
+			} else {
+				fmt.Fprintf(b, "%s- call: {service: %s, mode: %s}\n", indent, yamlScalar(st.Service), st.Mode)
+			}
+		case StepSpawn:
+			fmt.Fprintf(b, "%s- spawn: {service: %s, class: %s}\n",
+				indent, yamlScalar(st.Service), yamlScalar(st.Class))
+		case StepPar:
+			fmt.Fprintf(b, "%s- par:\n%s    branches:\n", indent, indent)
+			for bi := range st.Branches {
+				fmt.Fprintf(b, "%s      - steps:\n", indent)
+				encodeSteps(b, st.Branches[bi].Steps, indent+"          ")
+			}
+		}
+	}
+}
+
+func encodeClass(b *strings.Builder, c *Class) {
+	fmt.Fprintf(b, "  - name: %s\n", yamlScalar(c.Name))
+	if c.Entry != "" {
+		fmt.Fprintf(b, "    entry: %s\n", yamlScalar(c.Entry))
+	}
+	if c.Priority != 0 {
+		fmt.Fprintf(b, "    priority: %d\n", c.Priority)
+	}
+	if c.Derived {
+		b.WriteString("    derived: true\n")
+	}
+	fmt.Fprintf(b, "    sla: {percentile: %s, latency: %s}\n",
+		formatFloat(c.SLA.Percentile), formatMs(c.SLA.LatencyMs))
+}
+
+// plainScalar matches strings safe to emit unquoted in our YAML subset.
+var plainScalar = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.\-]*$`)
+
+// yamlScalar quotes a string when it could be misread as syntax.
+func yamlScalar(s string) string {
+	if plainScalar.MatchString(s) && s != "true" && s != "false" && s != "null" {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	return `"` + s + `"`
+}

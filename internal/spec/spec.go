@@ -1,0 +1,250 @@
+// Package spec defines the declarative topology layer: a versioned,
+// serializable description of a microservice application — services with
+// rpc/worker kinds, per-operation step lists, request classes with SLAs and
+// priorities, and a workload mix — together with a YAML/JSON loader, a
+// validator that reports field-path errors, a compiler to the simulator's
+// native services.AppSpec + workload.Mix, a canonical dumper, and a seeded
+// random-topology generator.
+//
+// The built-in benchmark applications (examples/specs/*.yaml) load through
+// this package, so every topology Ursa can evaluate — hand-written or
+// generated — is data, not Go code. See DESIGN.md §4g.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is the spec schema version this package reads and writes.
+const Version = 1
+
+// File is the parsed wire form of a topology spec, prior to compilation.
+// Field order follows the canonical file layout.
+type File struct {
+	// Version is the schema version (must equal Version).
+	Version int
+	// App names the application.
+	App string
+	// Services lists the microservices, in file order.
+	Services []Service
+	// Classes lists the request classes, in file order.
+	Classes []Class
+	// Workload optionally declares the nominal load: total request rate and
+	// the weighted class mix.
+	Workload *Workload
+}
+
+// Service describes one microservice.
+type Service struct {
+	Name string
+	// Kind selects the defaults profile: "rpc" (interactive, gRPC-style
+	// unbounded handlers, RPC ingress with flow control) or "worker"
+	// (bounded MQ-consumer pool, no ingress).
+	Kind string
+	// CPUs is the container CPU limit per replica (0 = simulator default).
+	CPUs float64
+	// Replicas is the deployment-time replica count (0 = 1).
+	Replicas int
+	// Threads overrides the kind's worker-slot default when > 0.
+	Threads int
+	// Daemons overrides the kind's daemon-slot default when > 0.
+	Daemons int
+	// MaxReplicas caps scaling; 0 means unlimited.
+	MaxReplicas int
+	// StartupDelaySec is the container start latency on scale-out, seconds.
+	StartupDelaySec float64
+	// Ingress overrides the kind's ingress profile when non-nil.
+	Ingress *Ingress
+	// Operations maps operation (request-class) names to handler bodies, in
+	// file order.
+	Operations []Operation
+}
+
+// Ingress configures the RPC ingress stage (§III backpressure).
+type Ingress struct {
+	// CostMs is the CPU cost of admitting one inbound RPC, milliseconds.
+	// Zero disables the ingress stage.
+	CostMs float64
+	// Window is the per-replica flow-control window.
+	Window int
+}
+
+// Operation is one request-class handler: an ordered step list.
+type Operation struct {
+	Name  string
+	Steps []Step
+}
+
+// StepKind discriminates the step union.
+type StepKind int
+
+const (
+	// StepCompute burns CPU for a random duration.
+	StepCompute StepKind = iota
+	// StepCall invokes another service (nested-rpc, event-rpc or mq).
+	StepCall
+	// StepSpawn enqueues a new measured job of another class.
+	StepSpawn
+	// StepPar runs branches concurrently within the handler.
+	StepPar
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case StepCompute:
+		return "compute"
+	case StepCall:
+		return "call"
+	case StepSpawn:
+		return "spawn"
+	case StepPar:
+		return "par"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one operation step; exactly the fields of its Kind are meaningful.
+type Step struct {
+	Kind StepKind
+	// Compute fields.
+	Duration Duration
+	CV       float64
+	// Call / Spawn fields.
+	Service string
+	Mode    string // "nested-rpc" | "event-rpc" | "mq" ("" = nested-rpc)
+	Class   string // Call: optional class override; Spawn: required class
+	// Par field.
+	Branches []Branch
+}
+
+// Branch is one parallel branch of a Par step.
+type Branch struct {
+	Steps []Step
+}
+
+// Duration is a service-time description parsed from `30ms`-style syntax,
+// optionally with a `+/- 10ms` spread.
+type Duration struct {
+	// MeanMs is the mean, milliseconds.
+	MeanMs float64
+	// DevMs is the standard deviation from `+/-` syntax, milliseconds; the
+	// compiler turns it into a coefficient of variation. Zero means
+	// unspecified.
+	DevMs float64
+}
+
+// Class describes one request class or priority level with its SLA.
+type Class struct {
+	Name string
+	// Entry is the service receiving the class's requests.
+	Entry string
+	// Priority orders queue service; lower is more urgent.
+	Priority int
+	// Derived marks classes only spawned by other flows, never injected by
+	// clients.
+	Derived bool
+	// SLA is the end-to-end latency target.
+	SLA SLA
+}
+
+// SLA is a percentile latency target.
+type SLA struct {
+	Percentile float64
+	LatencyMs  float64
+}
+
+// Workload declares nominal load for the app.
+type Workload struct {
+	// Rate is the total request rate, RPS.
+	Rate float64
+	// Mix is the weighted class mix, in file order.
+	Mix []MixEntry
+}
+
+// MixEntry is one class weight of the mix.
+type MixEntry struct {
+	Class  string
+	Weight float64
+}
+
+// Error is a loader/validator error carrying the field path it refers to,
+// e.g. "services.frontend.operations.upload-post.steps[1].call.service".
+type Error struct {
+	Path string
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return e.Msg
+	}
+	return e.Path + ": " + e.Msg
+}
+
+// errf builds a field-path error.
+func errf(path, format string, args ...any) *Error {
+	return &Error{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseDuration parses `30ms`, `1.5s`, `250us`, `2m`, or `30ms +/- 10ms`.
+func parseDuration(s string) (Duration, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "+/-"); i >= 0 {
+		mean, err := parseOneDuration(strings.TrimSpace(s[:i]))
+		if err != nil {
+			return Duration{}, err
+		}
+		dev, err := parseOneDuration(strings.TrimSpace(s[i+len("+/-"):]))
+		if err != nil {
+			return Duration{}, err
+		}
+		if dev < 0 {
+			return Duration{}, fmt.Errorf("negative deviation in %q", s)
+		}
+		return Duration{MeanMs: mean, DevMs: dev}, nil
+	}
+	mean, err := parseOneDuration(s)
+	if err != nil {
+		return Duration{}, err
+	}
+	return Duration{MeanMs: mean}, nil
+}
+
+// parseOneDuration parses a single `<number><unit>` duration into ms.
+func parseOneDuration(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	units := []struct {
+		suffix string
+		ms     float64
+	}{
+		{"us", 0.001}, {"ms", 1}, {"s", 1000}, {"m", 60000},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("malformed duration %q (want e.g. \"30ms\" or \"30ms +/- 10ms\")", s)
+			}
+			return v * u.ms, nil
+		}
+	}
+	return 0, fmt.Errorf("malformed duration %q: missing unit (us|ms|s|m)", s)
+}
+
+// formatMs renders a millisecond value in canonical duration syntax.
+func formatMs(ms float64) string {
+	return strconv.FormatFloat(ms, 'g', -1, 64) + "ms"
+}
+
+// formatFloat renders a float without loss.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

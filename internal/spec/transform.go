@@ -1,0 +1,41 @@
+package spec
+
+import "ursa/internal/services"
+
+// TransformSteps rewrites a handler step tree bottom-up. fn receives each
+// step and returns its replacement (or nil to drop the step); for Par steps,
+// branches have already been transformed when fn sees them. The input is
+// never mutated: Par nodes on a changed path are rebuilt, and the result of
+// an all-dropped list is nil — matching the semantics handlers expect (an
+// absent step, not an empty placeholder).
+//
+// This is the spec-level substrate for derived-app rewrites ("same app minus
+// these spawns", "swap this model's cost"): transforms express the rewrite
+// once, instead of each caller hand-rebuilding nested slices.
+func TransformSteps(steps []services.Step, fn func(services.Step) services.Step) []services.Step {
+	var out []services.Step
+	for _, st := range steps {
+		if p, ok := st.(services.Par); ok {
+			branches := make([][]services.Step, len(p.Branches))
+			for i, br := range p.Branches {
+				branches[i] = TransformSteps(br, fn)
+			}
+			st = services.Par{Branches: branches}
+		}
+		if replaced := fn(st); replaced != nil {
+			out = append(out, replaced)
+		}
+	}
+	return out
+}
+
+// DropSpawns removes every Spawn step whose class is in drop, including
+// spawns nested under Par branches. Other steps are preserved untouched.
+func DropSpawns(steps []services.Step, drop map[string]bool) []services.Step {
+	return TransformSteps(steps, func(st services.Step) services.Step {
+		if sp, ok := st.(services.Spawn); ok && drop[sp.Class] {
+			return nil
+		}
+		return st
+	})
+}

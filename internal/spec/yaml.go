@@ -1,0 +1,466 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A minimal YAML subset parser, sufficient for topology spec files and with
+// no external dependencies. It supports:
+//
+//   - block mappings and block sequences nested by indentation (spaces only);
+//   - flow mappings {k: v, ...} and flow sequences [a, b, ...], nestable;
+//   - plain, single-quoted and double-quoted scalars;
+//   - `#` comments and blank lines;
+//   - an optional leading `---` document marker.
+//
+// Anchors, aliases, multi-line scalars, multiple documents and type tags are
+// not supported. Every scalar is kept as its string form; typing happens in
+// the decoder, which knows the expected type at each field path.
+//
+// Mappings preserve key order and reject duplicate keys — spec files use
+// operation names as mapping keys, and a silently-dropped duplicate
+// operation would be a miserable bug to find.
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+// node is the untyped parse tree shared by the YAML and JSON front ends.
+type node struct {
+	kind   nodeKind
+	scalar string
+	quoted bool // scalar was quoted in the source (always a string)
+	pairs  []pair
+	items  []*node
+}
+
+type pair struct {
+	key   string
+	value *node
+}
+
+// get returns the value for a mapping key, or nil.
+func (n *node) get(key string) *node {
+	for i := range n.pairs {
+		if n.pairs[i].key == key {
+			return n.pairs[i].value
+		}
+	}
+	return nil
+}
+
+// line is one logical source line: its indentation depth and content.
+type line struct {
+	indent int
+	text   string
+}
+
+// parseYAML parses a document into a node tree.
+func parseYAML(src string) (*node, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	p := &yamlParser{lines: lines}
+	n, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("unexpected content at indent %d: %q", p.lines[p.pos].indent, p.lines[p.pos].text)
+	}
+	return n, nil
+}
+
+// splitLines strips comments and blanks and computes indentation.
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			trimmed := strings.TrimLeft(raw, " ")
+			if strings.HasPrefix(trimmed, "\t") || strings.Contains(raw[:len(raw)-len(trimmed)], "\t") {
+				return nil, fmt.Errorf("line %d: tabs are not allowed in indentation", i+1)
+			}
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimRight(text, " \r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" || body == "---" && len(out) == 0 {
+			continue
+		}
+		out = append(out, line{indent: len(trimmed) - len(body), text: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			if !inD {
+				inD = true
+			} else if i == 0 || s[i-1] != '\\' {
+				inD = false
+			}
+		case c == '#' && !inS && !inD:
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []line
+	pos   int
+	// pushed is a synthetic line injected when a sequence dash carries inline
+	// content (`- name: x`); it is consumed before lines[pos].
+	pushed *line
+}
+
+func (p *yamlParser) peek() (line, bool) {
+	if p.pushed != nil {
+		return *p.pushed, true
+	}
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *yamlParser) advance() {
+	if p.pushed != nil {
+		p.pushed = nil
+		return
+	}
+	p.pos++
+}
+
+// push injects content as a synthetic line at the given indent, standing in
+// for text that followed a `- ` dash on the same physical line.
+func (p *yamlParser) push(indent int, text string) {
+	l := line{indent: indent, text: text}
+	p.pushed = &l
+}
+
+// parseBlock parses a block collection or scalar whose first line is at
+// indent ≥ min.
+func (p *yamlParser) parseBlock(min int) (*node, error) {
+	l, ok := p.peek()
+	if !ok || l.indent < min {
+		return nil, fmt.Errorf("expected a value at indent ≥ %d", min)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSeq(l.indent)
+	}
+	if isMappingStart(l.text) {
+		return p.parseMap(l.indent)
+	}
+	// A lone scalar line.
+	p.advance()
+	s, quoted, err := parseScalar(l.text)
+	if err != nil {
+		return nil, err
+	}
+	return &node{kind: scalarNode, scalar: s, quoted: quoted}, nil
+}
+
+// parseSeq parses `- item` lines at exactly the given indent.
+func (p *yamlParser) parseSeq(indent int) (*node, error) {
+	out := &node{kind: seqNode}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || !(l.text == "-" || strings.HasPrefix(l.text, "- ")) {
+			if ok && l.indent > indent {
+				return nil, fmt.Errorf("bad indentation %d inside sequence at indent %d: %q", l.indent, indent, l.text)
+			}
+			return out, nil
+		}
+		p.advance()
+		after := strings.TrimPrefix(l.text, "-")
+		rest := strings.TrimLeft(after, " ")
+		contentAt := l.indent + 1 + (len(after) - len(rest))
+		if rest == "" {
+			// Value is the nested block on following lines.
+			nl, ok := p.peek()
+			if !ok || nl.indent <= indent {
+				return nil, fmt.Errorf("sequence item at indent %d has no value", indent)
+			}
+			item, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			out.items = append(out.items, item)
+			continue
+		}
+		// Inline content: re-parse it as a virtual first line of a nested
+		// block whose indent is where the content started.
+		p.push(contentAt, rest)
+		item, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		out.items = append(out.items, item)
+	}
+}
+
+// parseMap parses `key: value` lines at exactly the given indent.
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	out := &node{kind: mapNode}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || !isMappingStart(l.text) {
+			if ok && l.indent > indent {
+				return nil, fmt.Errorf("bad indentation %d inside mapping at indent %d: %q", l.indent, indent, l.text)
+			}
+			return out, nil
+		}
+		key, rest, err := splitKey(l.text)
+		if err != nil {
+			return nil, err
+		}
+		if out.get(key) != nil {
+			return nil, fmt.Errorf("duplicate key %q", key)
+		}
+		p.advance()
+		var value *node
+		if rest == "" {
+			nl, hasNext := p.peek()
+			if hasNext && nl.indent > indent {
+				value, err = p.parseBlock(indent + 1)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				value = &node{kind: scalarNode, scalar: ""}
+			}
+		} else {
+			value, err = parseInline(rest)
+			if err != nil {
+				return nil, fmt.Errorf("key %q: %w", key, err)
+			}
+		}
+		out.pairs = append(out.pairs, pair{key: key, value: value})
+	}
+}
+
+// isMappingStart reports whether a line begins a `key:` mapping entry.
+func isMappingStart(text string) bool {
+	_, _, err := splitKey(text)
+	return err == nil
+}
+
+// splitKey splits `key: rest` (or `key:`), respecting quoted keys.
+func splitKey(text string) (key, rest string, err error) {
+	i := 0
+	if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+		q := text[0]
+		j := strings.IndexByte(text[1:], q)
+		if j < 0 {
+			return "", "", fmt.Errorf("unterminated quoted key in %q", text)
+		}
+		i = j + 2
+		key = text[1 : i-1]
+		text = text[i:]
+		if !strings.HasPrefix(text, ":") {
+			return "", "", fmt.Errorf("expected ':' after quoted key %q", key)
+		}
+		rest = strings.TrimLeft(text[1:], " ")
+		if rest != "" && text[1] != ' ' {
+			return "", "", fmt.Errorf("expected space after ':' in mapping")
+		}
+		return key, rest, nil
+	}
+	// Plain key: the first ':' that ends the line or is followed by a space.
+	for i = 0; i < len(text); i++ {
+		if text[i] == ':' && (i == len(text)-1 || text[i+1] == ' ') {
+			return strings.TrimRight(text[:i], " "), strings.TrimLeft(text[i+1:], " "), nil
+		}
+		if text[i] == '#' || text[i] == '{' || text[i] == '[' {
+			break
+		}
+	}
+	return "", "", fmt.Errorf("not a mapping entry: %q", text)
+}
+
+// parseInline parses an inline value: a flow collection or a scalar.
+func parseInline(text string) (*node, error) {
+	text = strings.TrimSpace(text)
+	if strings.HasPrefix(text, "{") || strings.HasPrefix(text, "[") {
+		n, rest, err := parseFlow(text)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("trailing content after flow value: %q", rest)
+		}
+		return n, nil
+	}
+	s, quoted, err := parseScalar(text)
+	if err != nil {
+		return nil, err
+	}
+	return &node{kind: scalarNode, scalar: s, quoted: quoted}, nil
+}
+
+// parseFlow parses a flow collection or scalar and returns unconsumed input.
+func parseFlow(text string) (*node, string, error) {
+	text = strings.TrimLeft(text, " ")
+	switch {
+	case strings.HasPrefix(text, "{"):
+		out := &node{kind: mapNode}
+		rest := strings.TrimLeft(text[1:], " ")
+		if strings.HasPrefix(rest, "}") {
+			return out, rest[1:], nil
+		}
+		for {
+			key, tail, err := flowKey(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			if out.get(key) != nil {
+				return nil, "", fmt.Errorf("duplicate key %q", key)
+			}
+			var val *node
+			val, rest, err = parseFlow(tail)
+			if err != nil {
+				return nil, "", err
+			}
+			out.pairs = append(out.pairs, pair{key: key, value: val})
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				return out, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("expected ',' or '}' in flow mapping near %q", rest)
+		}
+	case strings.HasPrefix(text, "["):
+		out := &node{kind: seqNode}
+		rest := strings.TrimLeft(text[1:], " ")
+		if strings.HasPrefix(rest, "]") {
+			return out, rest[1:], nil
+		}
+		for {
+			var item *node
+			var err error
+			item, rest, err = parseFlow(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			out.items = append(out.items, item)
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "]") {
+				return out, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("expected ',' or ']' in flow sequence near %q", rest)
+		}
+	default:
+		// A scalar inside a flow collection, ended by , } or ].
+		if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+			s, rest, err := quotedScalar(text)
+			if err != nil {
+				return nil, "", err
+			}
+			return &node{kind: scalarNode, scalar: s, quoted: true}, rest, nil
+		}
+		end := strings.IndexAny(text, ",}]")
+		if end < 0 {
+			end = len(text)
+		}
+		return &node{kind: scalarNode, scalar: strings.TrimSpace(text[:end])}, text[end:], nil
+	}
+}
+
+// flowKey reads `key:` inside a flow mapping.
+func flowKey(text string) (key, rest string, err error) {
+	text = strings.TrimLeft(text, " ")
+	if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+		s, tail, err := quotedScalar(text)
+		if err != nil {
+			return "", "", err
+		}
+		tail = strings.TrimLeft(tail, " ")
+		if !strings.HasPrefix(tail, ":") {
+			return "", "", fmt.Errorf("expected ':' after flow key %q", s)
+		}
+		return s, tail[1:], nil
+	}
+	i := strings.IndexByte(text, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("expected ':' in flow mapping near %q", text)
+	}
+	return strings.TrimSpace(text[:i]), text[i+1:], nil
+}
+
+// quotedScalar reads a leading quoted string and returns the remainder.
+func quotedScalar(text string) (s, rest string, err error) {
+	q := text[0]
+	if q == '\'' {
+		j := strings.IndexByte(text[1:], '\'')
+		if j < 0 {
+			return "", "", fmt.Errorf("unterminated string %q", text)
+		}
+		return text[1 : j+1], text[j+2:], nil
+	}
+	var b strings.Builder
+	for i := 1; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if i+1 >= len(text) {
+				return "", "", fmt.Errorf("dangling escape in %q", text)
+			}
+			i++
+			switch text[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(text[i])
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", text[i])
+			}
+		case '"':
+			return b.String(), text[i+1:], nil
+		default:
+			b.WriteByte(text[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string %q", text)
+}
+
+// parseScalar parses a whole-line scalar.
+func parseScalar(text string) (s string, quoted bool, err error) {
+	text = strings.TrimSpace(text)
+	if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+		s, rest, err := quotedScalar(text)
+		if err != nil {
+			return "", false, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return "", false, fmt.Errorf("trailing content after string: %q", rest)
+		}
+		return s, true, nil
+	}
+	return text, false, nil
+}

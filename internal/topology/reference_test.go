@@ -1,0 +1,381 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/workload"
+)
+
+// This file pins the spec-compiled applications to the original hand-written
+// Go constructors, kept here verbatim as the reference. Every experiment is
+// a pure function of (AppSpec, Mix, RPS, seed), so DeepEqual here means
+// every pre-refactor experiment output is reproduced byte-for-byte.
+
+func refRPC(name string, cpus float64, replicas int, handlers map[string][]services.Step) services.ServiceSpec {
+	return services.ServiceSpec{
+		Name:            name,
+		Threads:         4096,
+		Daemons:         64,
+		CPUs:            cpus,
+		InitialReplicas: replicas,
+		IngressCostMs:   0.2,
+		IngressWindow:   32,
+		Handlers:        handlers,
+	}
+}
+
+func refWorker(name string, cpus float64, threads, replicas int, handlers map[string][]services.Step) services.ServiceSpec {
+	return services.ServiceSpec{
+		Name:            name,
+		Threads:         threads,
+		Daemons:         16,
+		CPUs:            cpus,
+		InitialReplicas: replicas,
+		Handlers:        handlers,
+	}
+}
+
+func refSocialNetwork() services.AppSpec {
+	composeFlow := services.Seq(
+		services.Compute{MeanMs: 4.0},
+		services.Par{Branches: [][]services.Step{
+			{services.Call{Service: "text-service", Mode: services.NestedRPC}},
+			{services.Call{Service: "user-service", Mode: services.NestedRPC}},
+			{services.Call{Service: "url-shorten", Mode: services.NestedRPC}},
+		}},
+		services.Call{Service: "post-storage", Mode: services.NestedRPC},
+		services.Spawn{Service: "home-timeline", Class: UpdateTimeline},
+		services.Spawn{Service: "sentiment-ml", Class: SentimentAnalysis},
+	)
+	return services.AppSpec{
+		Name: "social-network",
+		Services: []services.ServiceSpec{
+			refRPC("frontend", 2, 2, map[string][]services.Step{
+				UploadPost:    services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "compose-post", Mode: services.NestedRPC}),
+				UploadComment: services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "compose-post", Mode: services.NestedRPC}),
+				ReadTimeline:  services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "user-timeline", Mode: services.NestedRPC}),
+				UploadImage:   services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "image-store", Mode: services.NestedRPC}),
+				DownloadImage: services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "image-store", Mode: services.NestedRPC}),
+			}),
+			refRPC("compose-post", 2, 2, map[string][]services.Step{
+				UploadPost:    composeFlow,
+				UploadComment: composeFlow,
+			}),
+			refRPC("text-service", 2, 1, map[string][]services.Step{
+				UploadPost:    services.Seq(services.Compute{MeanMs: 8.0}),
+				UploadComment: services.Seq(services.Compute{MeanMs: 8.0}),
+			}),
+			refRPC("user-service", 1, 2, map[string][]services.Step{
+				UploadPost:    services.Seq(services.Compute{MeanMs: 3.0}),
+				UploadComment: services.Seq(services.Compute{MeanMs: 3.0}),
+			}),
+			refRPC("url-shorten", 1, 2, map[string][]services.Step{
+				UploadPost:    services.Seq(services.Compute{MeanMs: 2.5}),
+				UploadComment: services.Seq(services.Compute{MeanMs: 2.5}),
+			}),
+			refRPC("post-storage", 2, 2, map[string][]services.Step{
+				UploadPost:    services.Seq(services.Compute{MeanMs: 6.0}),
+				UploadComment: services.Seq(services.Compute{MeanMs: 6.0}),
+				ReadTimeline:  services.Seq(services.Compute{MeanMs: 35.0, CV: 0.4}),
+				ObjectDetect:  services.Seq(services.Compute{MeanMs: 6.0}),
+			}),
+			refRPC("user-timeline", 2, 2, map[string][]services.Step{
+				ReadTimeline: services.Seq(
+					services.Compute{MeanMs: 20.0, CV: 0.4},
+					services.Call{Service: "post-storage", Mode: services.NestedRPC},
+				),
+			}),
+			refRPC("social-graph", 1, 1, map[string][]services.Step{
+				UpdateTimeline: services.Seq(services.Compute{MeanMs: 6.0}),
+			}),
+			refWorker("home-timeline", 4, 16, 4, map[string][]services.Step{
+				UpdateTimeline: services.Seq(
+					services.Compute{MeanMs: 15.0},
+					services.Call{Service: "social-graph", Mode: services.NestedRPC},
+					services.Compute{MeanMs: 60.0, CV: 0.6},
+				),
+			}),
+			refRPC("image-store", 2, 2, map[string][]services.Step{
+				UploadImage: services.Seq(
+					services.Compute{MeanMs: 45.0, CV: 0.5},
+					services.Spawn{Service: "object-detect-ml", Class: ObjectDetect},
+				),
+				DownloadImage: services.Seq(services.Compute{MeanMs: 12.0, CV: 0.5}),
+				ObjectDetect:  services.Seq(services.Compute{MeanMs: 12.0, CV: 0.5}),
+			}),
+			refWorker("sentiment-ml", 4, 8, 6, map[string][]services.Step{
+				SentimentAnalysis: services.Seq(services.Compute{MeanMs: 140, CV: 0.5}),
+			}),
+			refWorker("object-detect-ml", 4, 8, 5, map[string][]services.Step{
+				ObjectDetect: services.Seq(
+					services.Call{Service: "image-store", Mode: services.NestedRPC},
+					services.Call{Service: "post-storage", Mode: services.NestedRPC},
+					services.Compute{MeanMs: 2600, CV: 0.45},
+				),
+			}),
+		},
+		Classes: []services.ClassSpec{
+			{Name: UploadPost, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
+			{Name: UploadComment, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
+			{Name: ReadTimeline, Entry: "frontend", SLAPercentile: 99, SLAMillis: 250},
+			{Name: UpdateTimeline, Entry: "home-timeline", Derived: true, SLAPercentile: 99, SLAMillis: 500},
+			{Name: UploadImage, Entry: "frontend", SLAPercentile: 99, SLAMillis: 200},
+			{Name: DownloadImage, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
+			{Name: SentimentAnalysis, Entry: "sentiment-ml", Derived: true, SLAPercentile: 99, SLAMillis: 500},
+			{Name: ObjectDetect, Entry: "object-detect-ml", Derived: true, SLAPercentile: 99, SLAMillis: 10000},
+		},
+	}
+}
+
+func refSocialNetworkMix() workload.Mix {
+	return workload.Mix{
+		UploadPost:    1,
+		UploadComment: 75,
+		DownloadImage: 15,
+		ReadTimeline:  25,
+		UploadImage:   4,
+	}
+}
+
+func refVanillaSocialNetwork() services.AppSpec {
+	app := refSocialNetwork()
+	app.Name = "vanilla-social-network"
+	var keptServices []services.ServiceSpec
+	for _, s := range app.Services {
+		switch s.Name {
+		case "sentiment-ml", "object-detect-ml":
+			continue
+		}
+		for class, steps := range s.Handlers {
+			s.Handlers[class] = refStripSpawns(steps, map[string]bool{
+				SentimentAnalysis: true, ObjectDetect: true,
+			})
+		}
+		keptServices = append(keptServices, s)
+	}
+	app.Services = keptServices
+	var keptClasses []services.ClassSpec
+	for _, c := range app.Classes {
+		if c.Name == SentimentAnalysis || c.Name == ObjectDetect {
+			continue
+		}
+		keptClasses = append(keptClasses, c)
+	}
+	app.Classes = keptClasses
+	return app
+}
+
+func refStripSpawns(steps []services.Step, drop map[string]bool) []services.Step {
+	var out []services.Step
+	for _, st := range steps {
+		switch s := st.(type) {
+		case services.Spawn:
+			if drop[s.Class] {
+				continue
+			}
+			out = append(out, s)
+		case services.Par:
+			branches := make([][]services.Step, len(s.Branches))
+			for i, br := range s.Branches {
+				branches[i] = refStripSpawns(br, drop)
+			}
+			out = append(out, services.Par{Branches: branches})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func refMediaService() services.AppSpec {
+	return services.AppSpec{
+		Name: "media-service",
+		Services: []services.ServiceSpec{
+			refRPC("media-frontend", 2, 2, map[string][]services.Step{
+				UploadVideo:   services.Seq(services.Compute{MeanMs: 3.0}, services.Call{Service: "movie-id", Mode: services.NestedRPC}),
+				DownloadVideo: services.Seq(services.Compute{MeanMs: 3.0}, services.Call{Service: "video-store", Mode: services.NestedRPC}),
+				GetInfo:       services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "movie-info", Mode: services.NestedRPC}),
+				RateVideo:     services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "rating", Mode: services.NestedRPC}),
+			}),
+			refRPC("movie-id", 1, 1, map[string][]services.Step{
+				UploadVideo: services.Seq(
+					services.Compute{MeanMs: 3.0},
+					services.Call{Service: "video-store", Mode: services.NestedRPC},
+					services.Spawn{Service: "transcoder", Class: TranscodeVideo},
+					services.Spawn{Service: "thumbnailer", Class: GenerateThumbnail},
+				),
+			}),
+			refRPC("video-store", 4, 3, map[string][]services.Step{
+				UploadVideo:       services.Seq(services.Compute{MeanMs: 520, CV: 0.45}),
+				DownloadVideo:     services.Seq(services.Compute{MeanMs: 380, CV: 0.45}),
+				TranscodeVideo:    services.Seq(services.Compute{MeanMs: 150, CV: 0.5}),
+				GenerateThumbnail: services.Seq(services.Compute{MeanMs: 100, CV: 0.5}),
+			}),
+			refRPC("movie-info", 2, 2, map[string][]services.Step{
+				GetInfo: services.Seq(
+					services.Compute{MeanMs: 25.0, CV: 0.4},
+					services.Par{Branches: [][]services.Step{
+						{services.Call{Service: "review-storage", Mode: services.NestedRPC}},
+						{services.Call{Service: "rating", Mode: services.NestedRPC, Class: GetInfo}},
+					}},
+				),
+				RateVideo: services.Seq(services.Compute{MeanMs: 40.0, CV: 0.4}),
+			}),
+			refRPC("review-storage", 2, 2, map[string][]services.Step{
+				GetInfo: services.Seq(services.Compute{MeanMs: 32.0, CV: 0.4}),
+			}),
+			refRPC("rating", 2, 2, map[string][]services.Step{
+				GetInfo:   services.Seq(services.Compute{MeanMs: 15.0, CV: 0.4}),
+				RateVideo: services.Seq(services.Compute{MeanMs: 60.0, CV: 0.4}, services.Call{Service: "movie-info", Mode: services.NestedRPC}),
+			}),
+			refWorker("transcoder", 4, 8, 3, map[string][]services.Step{
+				TranscodeVideo: services.Seq(
+					services.Call{Service: "video-store", Mode: services.NestedRPC},
+					services.Compute{MeanMs: 11000, CV: 0.5},
+					services.Call{Service: "video-store", Mode: services.NestedRPC},
+				),
+			}),
+			refWorker("thumbnailer", 2, 8, 2, map[string][]services.Step{
+				GenerateThumbnail: services.Seq(
+					services.Call{Service: "video-store", Mode: services.NestedRPC},
+					services.Compute{MeanMs: 420, CV: 0.5},
+				),
+			}),
+		},
+		Classes: []services.ClassSpec{
+			{Name: UploadVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 2000},
+			{Name: DownloadVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 1500},
+			{Name: GetInfo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 250},
+			{Name: RateVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 400},
+			{Name: TranscodeVideo, Entry: "transcoder", Derived: true, SLAPercentile: 99, SLAMillis: 40000},
+			{Name: GenerateThumbnail, Entry: "thumbnailer", Derived: true, SLAPercentile: 99, SLAMillis: 2000},
+		},
+	}
+}
+
+func refMediaServiceMix() workload.Mix {
+	return workload.Mix{
+		UploadVideo:   1,
+		GetInfo:       100,
+		DownloadVideo: 25,
+		RateVideo:     25,
+	}
+}
+
+func refVideoPipeline() services.AppSpec {
+	stageFlow := func(meanMs float64, cv float64, next string) map[string][]services.Step {
+		build := func() []services.Step {
+			steps := services.Seq(services.Compute{MeanMs: meanMs, CV: cv})
+			if next != "" {
+				steps = append(steps, services.Call{Service: next, Mode: services.MQ})
+			}
+			return steps
+		}
+		return map[string][]services.Step{
+			HighPriority: build(),
+			LowPriority:  build(),
+		}
+	}
+	return services.AppSpec{
+		Name: "video-pipeline",
+		Services: []services.ServiceSpec{
+			refWorker("metadata-extract", 2, 4, 2, stageFlow(300, 0.4, "snapshot")),
+			refWorker("snapshot", 4, 8, 3, stageFlow(900, 0.4, "face-recognition")),
+			refWorker("face-recognition", 4, 8, 5, stageFlow(1300, 0.45, "")),
+		},
+		Classes: []services.ClassSpec{
+			{Name: HighPriority, Entry: "metadata-extract", Priority: 0, SLAPercentile: 99, SLAMillis: 20000},
+			{Name: LowPriority, Entry: "metadata-extract", Priority: 1, SLAPercentile: 50, SLAMillis: 4000},
+		},
+	}
+}
+
+// TestSpecCompiledAppsMatchReference is the identity pin of the spec-driven
+// refactor: the compiled spec files must reproduce the original constructors
+// exactly, including handler step trees, so experiment outputs cannot move.
+func TestSpecCompiledAppsMatchReference(t *testing.T) {
+	cases := []struct {
+		name string
+		got  services.AppSpec
+		want services.AppSpec
+	}{
+		{"social-network", SocialNetwork(), refSocialNetwork()},
+		{"vanilla-social-network", VanillaSocialNetwork(), refVanillaSocialNetwork()},
+		{"media-service", MediaService(), refMediaService()},
+		{"video-pipeline", VideoPipeline(), refVideoPipeline()},
+	}
+	for _, c := range cases {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s: compiled spec differs from reference constructor", c.name)
+			diffAppSpecs(t, c.got, c.want)
+		}
+	}
+}
+
+func TestSpecCompiledMixesMatchReference(t *testing.T) {
+	if got, want := SocialNetworkMix(), refSocialNetworkMix(); !reflect.DeepEqual(got, want) {
+		t.Errorf("social-network mix: got %v want %v", got, want)
+	}
+	wantVanilla := refSocialNetworkMix()
+	delete(wantVanilla, UploadImage)
+	if got := VanillaSocialNetworkMix(); !reflect.DeepEqual(got, wantVanilla) {
+		t.Errorf("vanilla mix: got %v want %v", got, wantVanilla)
+	}
+	if got, want := MediaServiceMix(), refMediaServiceMix(); !reflect.DeepEqual(got, want) {
+		t.Errorf("media-service mix: got %v want %v", got, want)
+	}
+}
+
+func TestAppsRatesMatchHarness(t *testing.T) {
+	want := map[string]float64{
+		"social-network":         100,
+		"vanilla-social-network": 100,
+		"media-service":          60,
+		"video-pipeline":         4,
+	}
+	for _, a := range Apps() {
+		if a.RPS != want[a.Name] {
+			t.Errorf("%s: RPS %v, want %v", a.Name, a.RPS, want[a.Name])
+		}
+	}
+}
+
+// diffAppSpecs narrows a DeepEqual failure down to the first differing field
+// so YAML mistakes are easy to locate.
+func diffAppSpecs(t *testing.T, got, want services.AppSpec) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("  name: got %q want %q", got.Name, want.Name)
+	}
+	if len(got.Services) != len(want.Services) {
+		t.Errorf("  services: got %d want %d", len(got.Services), len(want.Services))
+		return
+	}
+	for i := range got.Services {
+		g, w := got.Services[i], want.Services[i]
+		if g.Name != w.Name {
+			t.Errorf("  services[%d]: got %q want %q", i, g.Name, w.Name)
+			continue
+		}
+		gh, wh := g.Handlers, w.Handlers
+		g.Handlers, w.Handlers = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("  service %s settings: got %+v want %+v", g.Name, g, w)
+		}
+		for class := range wh {
+			if !reflect.DeepEqual(gh[class], wh[class]) {
+				t.Errorf("  service %s handler %s: got %#v want %#v", g.Name, class, gh[class], wh[class])
+			}
+		}
+		for class := range gh {
+			if _, ok := wh[class]; !ok {
+				t.Errorf("  service %s: unexpected handler %s", g.Name, class)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Classes, want.Classes) {
+		t.Errorf("  classes: got %+v want %+v", got.Classes, want.Classes)
+	}
+}

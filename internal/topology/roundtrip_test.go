@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"ursa/internal/services"
+	"ursa/internal/spec"
+)
+
+// TestDumpParseRoundTrip is the satellite property of the spec layer:
+// parse(dump(app)) reproduces app exactly for every built-in application,
+// including the derived vanilla variant and the §III chains — so
+// `ursa-sim -dump-topology` output is always a faithful, editable starting
+// point.
+func TestDumpParseRoundTrip(t *testing.T) {
+	for _, app := range Apps() {
+		data, err := spec.Dump(app.Spec, app.Mix, app.RPS)
+		if err != nil {
+			t.Fatalf("%s: dump: %v", app.Name, err)
+		}
+		f, err := spec.Parse(app.Name+".yaml", data)
+		if err != nil {
+			t.Fatalf("%s: parse of dumped spec: %v\n%s", app.Name, err, data)
+		}
+		c, err := spec.Build(f)
+		if err != nil {
+			t.Fatalf("%s: build of dumped spec: %v", app.Name, err)
+		}
+		if !reflect.DeepEqual(c.Spec, app.Spec) {
+			t.Errorf("%s: dump/parse round trip changed the app", app.Name)
+			diffAppSpecs(t, c.Spec, app.Spec)
+		}
+		if !reflect.DeepEqual(c.Mix, app.Mix) {
+			t.Errorf("%s: mix round trip: got %v want %v", app.Name, c.Mix, app.Mix)
+		}
+		if c.Rate != app.RPS {
+			t.Errorf("%s: rate round trip: got %v want %v", app.Name, c.Rate, app.RPS)
+		}
+	}
+	for _, mode := range []services.CallMode{services.NestedRPC, services.EventRPC, services.MQ} {
+		chain := BackpressureChain(mode)
+		data, err := spec.Dump(chain, nil, 0)
+		if err != nil {
+			t.Fatalf("chain %s: dump: %v", mode, err)
+		}
+		f, err := spec.Parse("chain.yaml", data)
+		if err != nil {
+			t.Fatalf("chain %s: parse: %v\n%s", mode, err, data)
+		}
+		c, err := spec.Build(f)
+		if err != nil {
+			t.Fatalf("chain %s: build: %v", mode, err)
+		}
+		if !reflect.DeepEqual(c.Spec, chain) {
+			t.Errorf("chain %s: round trip changed the app", mode)
+			diffAppSpecs(t, c.Spec, chain)
+		}
+	}
+}
+
+// TestCheckedInSpecsAreCanonical re-dumps each checked-in benchmark app and
+// re-parses the result, guarding the dumper against drift from the schema
+// the files actually use.
+func TestCheckedInSpecsAreCanonical(t *testing.T) {
+	for _, name := range []string{"social-network", "media-service", "video-pipeline"} {
+		app, ok := AppByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if _, err := spec.Canonical(app.Spec, app.Mix, app.RPS); err != nil {
+			t.Errorf("%s: not canonicalizable: %v", name, err)
+		}
+	}
+}

@@ -1,7 +1,14 @@
-// Package topology defines the benchmark applications of §VI — the
+// Package topology exposes the benchmark applications of §VI — the
 // re-implemented DeathStarBench social network and media service plus the
-// video processing pipeline — as simulated service graphs, along with the
-// synthetic 5-tier chains used by the §III backpressure study.
+// video processing pipeline — along with the synthetic 5-tier chains used by
+// the §III backpressure study.
+//
+// The benchmark apps are defined as declarative spec documents under
+// examples/specs/ (embedded at build time) and compiled into simulator-native
+// AppSpecs by internal/spec. The Go constructors here are thin loaders kept
+// for API stability; reference_test.go pins the compiled output to the
+// original hand-written constructors structure-for-structure, which keeps
+// every experiment byte-identical across the data-driven refactor.
 //
 // Interactive functionality is wired with nested RPCs; deferred work
 // (timeline fan-out, ML inference, transcoding, the whole video pipeline)
@@ -11,41 +18,14 @@ package topology
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
+	"ursa/examples/specs"
 	"ursa/internal/services"
+	"ursa/internal/spec"
 	"ursa/internal/workload"
 )
-
-// rpc returns the common settings of an interactive (RPC-facing) service:
-// effectively unbounded handler concurrency (gRPC-style goroutines) and an
-// ingress stage whose flow-control window produces backpressure when the
-// service is CPU-starved.
-func rpc(name string, cpus float64, replicas int, handlers map[string][]services.Step) services.ServiceSpec {
-	return services.ServiceSpec{
-		Name:            name,
-		Threads:         4096,
-		Daemons:         64,
-		CPUs:            cpus,
-		InitialReplicas: replicas,
-		IngressCostMs:   0.2,
-		IngressWindow:   32,
-		Handlers:        handlers,
-	}
-}
-
-// worker returns the common settings of an MQ-consumer service: a bounded
-// worker pool (messages wait in the queue, which is what gives priority
-// scheduling meaning) and no RPC ingress.
-func worker(name string, cpus float64, threads, replicas int, handlers map[string][]services.Step) services.ServiceSpec {
-	return services.ServiceSpec{
-		Name:            name,
-		Threads:         threads,
-		Daemons:         16,
-		CPUs:            cpus,
-		InitialReplicas: replicas,
-		Handlers:        handlers,
-	}
-}
 
 // Social-network request classes (Table II).
 const (
@@ -59,122 +39,70 @@ const (
 	ObjectDetect      = "object-detect"
 )
 
+// Media-service request classes (Table III).
+const (
+	UploadVideo       = "upload-video"
+	DownloadVideo     = "download-video"
+	GetInfo           = "get-info"
+	RateVideo         = "rate-video"
+	TranscodeVideo    = "transcode-video"
+	GenerateThumbnail = "generate-thumbnail"
+)
+
+// Video-pipeline request classes (Table IV).
+const (
+	HighPriority = "high-priority"
+	LowPriority  = "low-priority"
+)
+
+// parsed caches the decoded (not compiled) spec files: parsing is pure, but
+// compiled AppSpecs hold mutable handler maps that callers are free to edit
+// (VanillaSocialNetwork does), so every constructor call compiles fresh.
+var parsed sync.Map // filename -> *spec.File
+
+func mustLoad(file string) *spec.File {
+	if v, ok := parsed.Load(file); ok {
+		return v.(*spec.File)
+	}
+	data, err := specs.FS.ReadFile(file)
+	if err != nil {
+		panic(fmt.Sprintf("topology: embedded spec %s missing: %v", file, err))
+	}
+	f, err := spec.Parse(file, data)
+	if err != nil {
+		panic(fmt.Sprintf("topology: %v", err))
+	}
+	actual, _ := parsed.LoadOrStore(file, f)
+	return actual.(*spec.File)
+}
+
+func mustCompile(file string) spec.Compiled {
+	c, err := spec.Build(mustLoad(file))
+	if err != nil {
+		panic(fmt.Sprintf("topology: %s: %v", file, err))
+	}
+	return c
+}
+
 // SocialNetwork builds the re-implemented social network (§VI): text posts
 // and timelines via RPC, plus image upload, sentiment analysis and object
 // detection connected via message queues.
 func SocialNetwork() services.AppSpec {
-	composeFlow := services.Seq(
-		services.Compute{MeanMs: 4.0},
-		services.Par{Branches: [][]services.Step{
-			{services.Call{Service: "text-service", Mode: services.NestedRPC}},
-			{services.Call{Service: "user-service", Mode: services.NestedRPC}},
-			{services.Call{Service: "url-shorten", Mode: services.NestedRPC}},
-		}},
-		services.Call{Service: "post-storage", Mode: services.NestedRPC},
-		services.Spawn{Service: "home-timeline", Class: UpdateTimeline},
-		services.Spawn{Service: "sentiment-ml", Class: SentimentAnalysis},
-	)
-	return services.AppSpec{
-		Name: "social-network",
-		Services: []services.ServiceSpec{
-			rpc("frontend", 2, 2, map[string][]services.Step{
-				UploadPost:    services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "compose-post", Mode: services.NestedRPC}),
-				UploadComment: services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "compose-post", Mode: services.NestedRPC}),
-				ReadTimeline:  services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "user-timeline", Mode: services.NestedRPC}),
-				UploadImage:   services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "image-store", Mode: services.NestedRPC}),
-				DownloadImage: services.Seq(services.Compute{MeanMs: 1.5}, services.Call{Service: "image-store", Mode: services.NestedRPC}),
-			}),
-			rpc("compose-post", 2, 2, map[string][]services.Step{
-				UploadPost:    composeFlow,
-				UploadComment: composeFlow,
-			}),
-			rpc("text-service", 2, 1, map[string][]services.Step{
-				UploadPost:    services.Seq(services.Compute{MeanMs: 8.0}),
-				UploadComment: services.Seq(services.Compute{MeanMs: 8.0}),
-			}),
-			rpc("user-service", 1, 2, map[string][]services.Step{
-				UploadPost:    services.Seq(services.Compute{MeanMs: 3.0}),
-				UploadComment: services.Seq(services.Compute{MeanMs: 3.0}),
-			}),
-			rpc("url-shorten", 1, 2, map[string][]services.Step{
-				UploadPost:    services.Seq(services.Compute{MeanMs: 2.5}),
-				UploadComment: services.Seq(services.Compute{MeanMs: 2.5}),
-			}),
-			rpc("post-storage", 2, 2, map[string][]services.Step{
-				UploadPost:    services.Seq(services.Compute{MeanMs: 6.0}),
-				UploadComment: services.Seq(services.Compute{MeanMs: 6.0}),
-				ReadTimeline:  services.Seq(services.Compute{MeanMs: 35.0, CV: 0.4}),
-				ObjectDetect:  services.Seq(services.Compute{MeanMs: 6.0}),
-			}),
-			rpc("user-timeline", 2, 2, map[string][]services.Step{
-				ReadTimeline: services.Seq(
-					services.Compute{MeanMs: 20.0, CV: 0.4},
-					services.Call{Service: "post-storage", Mode: services.NestedRPC},
-				),
-			}),
-			rpc("social-graph", 1, 1, map[string][]services.Step{
-				UpdateTimeline: services.Seq(services.Compute{MeanMs: 6.0}),
-			}),
-			// home-timeline consumes update-timeline jobs from the queue and
-			// fans the post out to followers' timelines.
-			worker("home-timeline", 4, 16, 4, map[string][]services.Step{
-				UpdateTimeline: services.Seq(
-					services.Compute{MeanMs: 15.0},
-					services.Call{Service: "social-graph", Mode: services.NestedRPC},
-					services.Compute{MeanMs: 60.0, CV: 0.6},
-				),
-			}),
-			rpc("image-store", 2, 2, map[string][]services.Step{
-				UploadImage: services.Seq(
-					services.Compute{MeanMs: 45.0, CV: 0.5},
-					services.Spawn{Service: "object-detect-ml", Class: ObjectDetect},
-				),
-				DownloadImage: services.Seq(services.Compute{MeanMs: 12.0, CV: 0.5}),
-				ObjectDetect:  services.Seq(services.Compute{MeanMs: 12.0, CV: 0.5}),
-			}),
-			// ML services are MQ consumers with heavy, less stable service
-			// times (Hugging Face models in the paper).
-			worker("sentiment-ml", 4, 8, 6, map[string][]services.Step{
-				SentimentAnalysis: services.Seq(services.Compute{MeanMs: 140, CV: 0.5}),
-			}),
-			worker("object-detect-ml", 4, 8, 5, map[string][]services.Step{
-				// Object-detect fetches the image and post contents, then
-				// runs DETR (§VII-G swaps this for MobileNet).
-				ObjectDetect: services.Seq(
-					services.Call{Service: "image-store", Mode: services.NestedRPC},
-					services.Call{Service: "post-storage", Mode: services.NestedRPC},
-					services.Compute{MeanMs: 2600, CV: 0.45},
-				),
-			}),
-		},
-		Classes: []services.ClassSpec{
-			{Name: UploadPost, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
-			{Name: UploadComment, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
-			{Name: ReadTimeline, Entry: "frontend", SLAPercentile: 99, SLAMillis: 250},
-			{Name: UpdateTimeline, Entry: "home-timeline", Derived: true, SLAPercentile: 99, SLAMillis: 500},
-			{Name: UploadImage, Entry: "frontend", SLAPercentile: 99, SLAMillis: 200},
-			{Name: DownloadImage, Entry: "frontend", SLAPercentile: 99, SLAMillis: 75},
-			{Name: SentimentAnalysis, Entry: "sentiment-ml", Derived: true, SLAPercentile: 99, SLAMillis: 500},
-			{Name: ObjectDetect, Entry: "object-detect-ml", Derived: true, SLAPercentile: 99, SLAMillis: 10000},
-		},
-	}
+	return mustCompile("social-network.yaml").Spec
 }
 
 // SocialNetworkMix is the exploration/deployment request mix of §VII-C:
 // post : comment : download-image : read-timeline ≈ 1 : 75 : 15 : 25, plus
 // a small stream of image uploads that feed the ML services.
 func SocialNetworkMix() workload.Mix {
-	return workload.Mix{
-		UploadPost:    1,
-		UploadComment: 75,
-		DownloadImage: 15,
-		ReadTimeline:  25,
-		UploadImage:   4,
-	}
+	return mustCompile("social-network.yaml").Mix
 }
 
 // VanillaSocialNetwork is the original-functionality benchmark used in
-// §VII-E: the same application with the ML services disabled.
+// §VII-E: the same application with the ML services disabled. It is derived
+// from the social-network spec by a step-tree transform rather than a
+// separate file — "the same app minus the ML spawns" stays true by
+// construction.
 func VanillaSocialNetwork() services.AppSpec {
 	app := SocialNetwork()
 	app.Name = "vanilla-social-network"
@@ -186,7 +114,7 @@ func VanillaSocialNetwork() services.AppSpec {
 		}
 		// Drop spawns that target the ML services.
 		for class, steps := range s.Handlers {
-			s.Handlers[class] = stripSpawns(steps, map[string]bool{
+			s.Handlers[class] = spec.DropSpawns(steps, map[string]bool{
 				SentimentAnalysis: true, ObjectDetect: true,
 			})
 		}
@@ -211,157 +139,25 @@ func VanillaSocialNetworkMix() workload.Mix {
 	return m
 }
 
-func stripSpawns(steps []services.Step, drop map[string]bool) []services.Step {
-	var out []services.Step
-	for _, st := range steps {
-		switch s := st.(type) {
-		case services.Spawn:
-			if drop[s.Class] {
-				continue
-			}
-			out = append(out, s)
-		case services.Par:
-			branches := make([][]services.Step, len(s.Branches))
-			for i, br := range s.Branches {
-				branches[i] = stripSpawns(br, drop)
-			}
-			out = append(out, services.Par{Branches: branches})
-		default:
-			out = append(out, st)
-		}
-	}
-	return out
-}
-
-// Media-service request classes (Table III).
-const (
-	UploadVideo       = "upload-video"
-	DownloadVideo     = "download-video"
-	GetInfo           = "get-info"
-	RateVideo         = "rate-video"
-	TranscodeVideo    = "transcode-video"
-	GenerateThumbnail = "generate-thumbnail"
-)
-
 // MediaService builds the re-implemented media service (§VI): reviews and
 // ratings via RPC, plus real video upload/download with FFmpeg-style
 // transcoding and thumbnailing behind message queues.
 func MediaService() services.AppSpec {
-	return services.AppSpec{
-		Name: "media-service",
-		Services: []services.ServiceSpec{
-			rpc("media-frontend", 2, 2, map[string][]services.Step{
-				UploadVideo:   services.Seq(services.Compute{MeanMs: 3.0}, services.Call{Service: "movie-id", Mode: services.NestedRPC}),
-				DownloadVideo: services.Seq(services.Compute{MeanMs: 3.0}, services.Call{Service: "video-store", Mode: services.NestedRPC}),
-				GetInfo:       services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "movie-info", Mode: services.NestedRPC}),
-				RateVideo:     services.Seq(services.Compute{MeanMs: 2.0}, services.Call{Service: "rating", Mode: services.NestedRPC}),
-			}),
-			rpc("movie-id", 1, 1, map[string][]services.Step{
-				UploadVideo: services.Seq(
-					services.Compute{MeanMs: 3.0},
-					services.Call{Service: "video-store", Mode: services.NestedRPC},
-					services.Spawn{Service: "transcoder", Class: TranscodeVideo},
-					services.Spawn{Service: "thumbnailer", Class: GenerateThumbnail},
-				),
-			}),
-			rpc("video-store", 4, 3, map[string][]services.Step{
-				// Upload writes the raw video (large payload).
-				UploadVideo: services.Seq(services.Compute{MeanMs: 520, CV: 0.45}),
-				// Download streams it back.
-				DownloadVideo:     services.Seq(services.Compute{MeanMs: 380, CV: 0.45}),
-				TranscodeVideo:    services.Seq(services.Compute{MeanMs: 150, CV: 0.5}),
-				GenerateThumbnail: services.Seq(services.Compute{MeanMs: 100, CV: 0.5}),
-			}),
-			rpc("movie-info", 2, 2, map[string][]services.Step{
-				GetInfo: services.Seq(
-					services.Compute{MeanMs: 25.0, CV: 0.4},
-					services.Par{Branches: [][]services.Step{
-						{services.Call{Service: "review-storage", Mode: services.NestedRPC}},
-						{services.Call{Service: "rating", Mode: services.NestedRPC, Class: GetInfo}},
-					}},
-				),
-				RateVideo: services.Seq(services.Compute{MeanMs: 40.0, CV: 0.4}),
-			}),
-			rpc("review-storage", 2, 2, map[string][]services.Step{
-				GetInfo: services.Seq(services.Compute{MeanMs: 32.0, CV: 0.4}),
-			}),
-			rpc("rating", 2, 2, map[string][]services.Step{
-				GetInfo:   services.Seq(services.Compute{MeanMs: 15.0, CV: 0.4}),
-				RateVideo: services.Seq(services.Compute{MeanMs: 60.0, CV: 0.4}, services.Call{Service: "movie-info", Mode: services.NestedRPC}),
-			}),
-			// FFmpeg-style heavy lifting behind queues.
-			worker("transcoder", 4, 8, 3, map[string][]services.Step{
-				TranscodeVideo: services.Seq(
-					services.Call{Service: "video-store", Mode: services.NestedRPC},
-					services.Compute{MeanMs: 11000, CV: 0.5},
-					services.Call{Service: "video-store", Mode: services.NestedRPC},
-				),
-			}),
-			worker("thumbnailer", 2, 8, 2, map[string][]services.Step{
-				GenerateThumbnail: services.Seq(
-					services.Call{Service: "video-store", Mode: services.NestedRPC},
-					services.Compute{MeanMs: 420, CV: 0.5},
-				),
-			}),
-		},
-		Classes: []services.ClassSpec{
-			{Name: UploadVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 2000},
-			{Name: DownloadVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 1500},
-			{Name: GetInfo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 250},
-			{Name: RateVideo, Entry: "media-frontend", SLAPercentile: 99, SLAMillis: 400},
-			{Name: TranscodeVideo, Entry: "transcoder", Derived: true, SLAPercentile: 99, SLAMillis: 40000},
-			{Name: GenerateThumbnail, Entry: "thumbnailer", Derived: true, SLAPercentile: 99, SLAMillis: 2000},
-		},
-	}
+	return mustCompile("media-service.yaml").Spec
 }
 
 // MediaServiceMix is the §VII-C mix: upload-video : get-info :
 // download-video : rate-video ≈ 1 : 100 : 25 : 25.
 func MediaServiceMix() workload.Mix {
-	return workload.Mix{
-		UploadVideo:   1,
-		GetInfo:       100,
-		DownloadVideo: 25,
-		RateVideo:     25,
-	}
+	return mustCompile("media-service.yaml").Mix
 }
-
-// Video-pipeline request classes (Table IV).
-const (
-	HighPriority = "high-priority"
-	LowPriority  = "low-priority"
-)
 
 // VideoPipeline builds the three-stage video processing pipeline (§VI):
 // metadata extraction → snapshots → face recognition, connected by MQs.
 // High-priority requests always run first when workers are available;
 // low-priority requests run only when no high-priority request waits.
 func VideoPipeline() services.AppSpec {
-	stageFlow := func(meanMs float64, cv float64, next string) map[string][]services.Step {
-		build := func() []services.Step {
-			steps := services.Seq(services.Compute{MeanMs: meanMs, CV: cv})
-			if next != "" {
-				steps = append(steps, services.Call{Service: next, Mode: services.MQ})
-			}
-			return steps
-		}
-		return map[string][]services.Step{
-			HighPriority: build(),
-			LowPriority:  build(),
-		}
-	}
-	return services.AppSpec{
-		Name: "video-pipeline",
-		Services: []services.ServiceSpec{
-			worker("metadata-extract", 2, 4, 2, stageFlow(300, 0.4, "snapshot")),
-			worker("snapshot", 4, 8, 3, stageFlow(900, 0.4, "face-recognition")),
-			worker("face-recognition", 4, 8, 5, stageFlow(1300, 0.45, "")),
-		},
-		Classes: []services.ClassSpec{
-			{Name: HighPriority, Entry: "metadata-extract", Priority: 0, SLAPercentile: 99, SLAMillis: 20000},
-			{Name: LowPriority, Entry: "metadata-extract", Priority: 1, SLAPercentile: 50, SLAMillis: 4000},
-		},
-	}
+	return mustCompile("video-pipeline.yaml").Spec
 }
 
 // VideoPipelineMix returns a high:low priority mix, e.g. (25, 75).
@@ -371,6 +167,8 @@ func VideoPipelineMix(high, low float64) workload.Mix {
 
 // BackpressureChain builds the §III study chain: five identical tiers
 // connected by the given communication mode, with RPC ingress flow control.
+// It stays a Go constructor: the mode parameter makes it a family of apps,
+// not a fixed document.
 func BackpressureChain(mode services.CallMode) services.AppSpec {
 	spec := services.AppSpec{Name: "chain-" + mode.String()}
 	for i := 1; i <= 5; i++ {
@@ -392,19 +190,35 @@ func BackpressureChain(mode services.CallMode) services.AppSpec {
 // is client-facing).
 func ChainTier(i int) string { return fmt.Sprintf("tier%d", i) }
 
-// Apps returns every benchmark application keyed by name, with its
-// exploration-time request mix — the §VII-E evaluation grid.
-func Apps() map[string]struct {
+// App is one benchmark application with its exploration-time request mix and
+// nominal deployment rate (the spec file's workload section).
+type App struct {
+	Name string
 	Spec services.AppSpec
 	Mix  workload.Mix
-} {
-	return map[string]struct {
-		Spec services.AppSpec
-		Mix  workload.Mix
-	}{
-		"social-network":         {SocialNetwork(), SocialNetworkMix()},
-		"vanilla-social-network": {VanillaSocialNetwork(), VanillaSocialNetworkMix()},
-		"media-service":          {MediaService(), MediaServiceMix()},
-		"video-pipeline":         {VideoPipeline(), VideoPipelineMix(50, 50)},
+	RPS  float64
+}
+
+// Apps returns every benchmark application sorted by name — the §VII-E
+// evaluation grid. The deterministic order makes it safe to iterate in any
+// code whose output order matters.
+func Apps() []App {
+	apps := []App{
+		{"social-network", SocialNetwork(), SocialNetworkMix(), mustCompile("social-network.yaml").Rate},
+		{"vanilla-social-network", VanillaSocialNetwork(), VanillaSocialNetworkMix(), mustCompile("social-network.yaml").Rate},
+		{"media-service", MediaService(), MediaServiceMix(), mustCompile("media-service.yaml").Rate},
+		{"video-pipeline", VideoPipeline(), VideoPipelineMix(50, 50), mustCompile("video-pipeline.yaml").Rate},
 	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	return apps
+}
+
+// AppByName returns the named benchmark application, or false.
+func AppByName(name string) (App, bool) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
 }

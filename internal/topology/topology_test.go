@@ -12,10 +12,10 @@ import (
 )
 
 func TestAllSpecsValidate(t *testing.T) {
-	for name, app := range Apps() {
+	for _, app := range Apps() {
 		spec := app.Spec
 		if err := spec.Validate(); err != nil {
-			t.Errorf("%s: %v", name, err)
+			t.Errorf("%s: %v", app.Name, err)
 		}
 	}
 	chain := BackpressureChain(services.NestedRPC)
@@ -162,17 +162,17 @@ func TestChainTierNames(t *testing.T) {
 }
 
 func TestSpecsJSONRoundTrip(t *testing.T) {
-	for name, app := range Apps() {
+	for _, app := range Apps() {
 		data, err := json.Marshal(app.Spec)
 		if err != nil {
-			t.Fatalf("%s: marshal: %v", name, err)
+			t.Fatalf("%s: marshal: %v", app.Name, err)
 		}
 		var got services.AppSpec
 		if err := json.Unmarshal(data, &got); err != nil {
-			t.Fatalf("%s: unmarshal: %v", name, err)
+			t.Fatalf("%s: unmarshal: %v", app.Name, err)
 		}
 		if !reflect.DeepEqual(app.Spec, got) {
-			t.Errorf("%s: JSON round trip mismatch", name)
+			t.Errorf("%s: JSON round trip mismatch", app.Name)
 		}
 	}
 }
