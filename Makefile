@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput bench-corpus validate-specs clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput bench-corpus bench-placement validate-specs clean
 
 all: check
 
@@ -83,6 +83,18 @@ bench-corpus:
 	$(GO) run ./cmd/ursa-bench -exp figc1 -scale 0.25 -corpus-n 100 \
 		-corpus-json BENCH_corpus.json -out results
 	@echo wrote BENCH_corpus.json
+
+# bench-placement runs the Fig. S1 fleet-scaling study: a generated tenant
+# fleet deployed behind the shared arbiter on synthetic clusters from 8 to
+# 1024 nodes, plus the Place+Release micro-timing of the free-capacity index
+# against the retained linear scan. Diff BENCH_placement.json's place_speedup
+# column to track the indexed-placement headline (≥10× at 1024 nodes).
+bench-placement:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlace|BenchmarkSetDown' \
+		-benchmem ./internal/cluster
+	$(GO) run ./cmd/ursa-bench -exp figs1 -scale 0.25 \
+		-figs1-json BENCH_placement.json -out results
+	@echo wrote BENCH_placement.json
 
 # validate-specs type-checks every checked-in declarative topology file; CI
 # runs this so a schema drift or a bad edit to examples/specs/ fails fast.

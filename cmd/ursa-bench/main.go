@@ -9,8 +9,11 @@
 // Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
 // tab6, fig14, figf1 (fault injection / recovery), figc1 (generated-topology
 // corpus; -corpus-n sizes it, -corpus-json also writes the machine-readable
-// result), all. Scale < 1 shortens deployments and ML sample counts
-// proportionally; shapes are preserved.
+// result), figs1 (fleet scaling curve; -figs1-nodes/-figs1-tenants size the
+// sweeps, -figs1-json writes BENCH_placement.json), all. Scale < 1 shortens
+// deployments and ML sample counts proportionally; shapes are preserved.
+// -no-fast-resolve disables the incremental re-solve fast path everywhere,
+// reproducing outputs from before it became the default.
 //
 // Independent simulation cells run concurrently on a bounded worker pool
 // (-parallel, default GOMAXPROCS); results are merged in a canonical order,
@@ -31,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|figc1|ablation|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|figc1|figs1|ablation|all")
 		scale    = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "results", "output directory")
@@ -39,13 +42,18 @@ func main() {
 		systems  = flag.String("systems", "", "comma-separated system filter for fig11/fig12")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+		noFast   = flag.Bool("no-fast-resolve", false, "disable the incremental re-solve fast path (full model solve on every Optimize)")
 
 		corpusN    = flag.Int("corpus-n", 100, "number of generated topologies for figc1")
 		corpusJSON = flag.String("corpus-json", "", "also write the figc1 result as JSON to this path")
+
+		figs1Nodes   = flag.String("figs1-nodes", "", "comma-separated node counts for the figs1 node sweep (default 8..1024 doubling)")
+		figs1Tenants = flag.String("figs1-tenants", "", "comma-separated tenant counts for the figs1 tenant sweep (default 1..32 doubling)")
+		figs1JSON    = flag.String("figs1-json", "", "also write the figs1 result as JSON to this path (BENCH_placement.json)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel, NoFastResolve: *noFast}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
@@ -104,6 +112,19 @@ func main() {
 		}
 		return r.Render()
 	})
+	run("figs1", func() string {
+		r := experiments.RunScaling(opts, experiments.ScalingParams{
+			Nodes:   parseInts(*figs1Nodes),
+			Tenants: parseInts(*figs1Tenants),
+		})
+		if *figs1JSON != "" {
+			if err := os.WriteFile(*figs1JSON, r.JSON(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *figs1JSON)
+		}
+		return r.Render()
+	})
 	run("ablation", func() string { return experiments.RunAblation(opts).Render() })
 
 	// Experiments themselves are independent jobs: fan them over the same
@@ -123,6 +144,23 @@ func main() {
 		fmt.Print(texts[i])
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+}
+
+// parseInts parses a comma-separated int list; empty input returns nil (the
+// experiment's default sweep).
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad count %q in %q", part, s))
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -65,6 +65,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "training/exploration scale for managers that need it")
 		parallel = flag.Int("parallel", 0, "worker pool size for harness-level preparation (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
+		noFast   = flag.Bool("no-fast-resolve", false, "disable ursa's incremental re-solve fast path (full model solve on every Optimize)")
 		specFile = flag.String("spec", "", "load a custom application spec from a JSON file (overrides -app; rate via -basirps)")
 		baseRPS  = flag.Float64("basirps", 100, "nominal RPS for a -spec application")
 		topoFile = flag.String("topology", "", "load an application from a declarative spec file (.yaml or .json, see examples/specs/); overrides -app")
@@ -170,7 +171,7 @@ func main() {
 	}
 	c.TotalRPS *= *rpsMult
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel, NoFastResolve: *noFast}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -6,9 +6,21 @@
 // in production. Nodes also carry a failure lifecycle (SetDown) and an
 // effective-capacity factor (SetCPUFactor) so fault injection can drain
 // capacity and degrade co-located replicas.
+//
+// Placement runs on a maintained free-capacity index (index.go): Place,
+// Release and SetDown are O(log n) in the node count, and the capacity
+// aggregates (TotalCapacity, AvailableCapacity, TotalUsed, the ErrNoCapacity
+// diagnostic) are kept incrementally instead of re-scanning all nodes — the
+// fleet-scale path for 1000-node clusters. The original linear best/worst-fit
+// scan is retained behind NewReference as the ground truth: the index must
+// pick a byte-identical node sequence, lowest-index tie-break included
+// (TestIndexedPlaceMatchesReference).
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Node is one machine.
 type Node struct {
@@ -19,6 +31,9 @@ type Node struct {
 	// cpuFactor scales the node's effective CPU speed (interference model);
 	// 0 means unset and reads as 1.
 	cpuFactor float64
+
+	c *Cluster // owning cluster (index + aggregate maintenance)
+	i int32    // index in c.nodes, the placement tie-break key
 }
 
 // Used reports allocated CPUs.
@@ -32,8 +47,29 @@ func (n *Node) Down() bool { return n.down }
 
 // SetDown fails (true) or recovers (false) the node. Place skips down nodes;
 // existing allocations are untouched — evicting resident replicas is the
-// caller's job (services.App.EvictNode).
-func (n *Node) SetDown(down bool) { n.down = down }
+// caller's job (services.App.EvictNode). O(log n): the node leaves or
+// rejoins the free-capacity index and the up-capacity aggregates.
+func (n *Node) SetDown(down bool) {
+	if n.down == down {
+		return
+	}
+	n.down = down
+	c := n.c
+	if c.linear {
+		return
+	}
+	if down {
+		c.idx.erase(n.i)
+		c.availCap -= n.Capacity
+		c.usedUp -= n.used
+		c.downCount++
+	} else {
+		c.idx.insert(n.i, n.Free())
+		c.availCap += n.Capacity
+		c.usedUp += n.used
+		c.downCount--
+	}
+}
 
 // CPUFactor reports the node's effective-capacity multiplier (1 = nominal).
 func (n *Node) CPUFactor() float64 {
@@ -45,7 +81,8 @@ func (n *Node) CPUFactor() float64 {
 
 // SetCPUFactor models CPU interference: resident replicas run at factor ×
 // their nominal rate. Allocation bookkeeping is unchanged — the node still
-// "holds" the same CPUs, they are just slower.
+// "holds" the same CPUs, they are just slower — so the free-capacity index
+// is untouched and this stays O(1).
 func (n *Node) SetCPUFactor(f float64) {
 	if f <= 0 {
 		panic("cluster: non-positive cpu factor")
@@ -75,20 +112,59 @@ const (
 // Cluster is a pool of nodes.
 type Cluster struct {
 	nodes    []*Node
+	byName   map[string]*Node
 	strategy Strategy
+
+	// linear marks a retained-reference cluster (NewReference): Place runs
+	// the original O(n) scan and every aggregate re-scans all nodes. The
+	// equivalence property test and the placement benchmarks drive both
+	// implementations against each other.
+	linear bool
+
+	// Incrementally maintained aggregates (indexed mode only). Capacities
+	// are fixed after New, so totalCap never changes; the others move in
+	// O(1) on Place/Release/SetDown.
+	totalCap  float64
+	availCap  float64 // capacity summed over up nodes
+	usedUp    float64 // used CPUs summed over up nodes
+	totalUsed float64
+	downCount int
+
+	idx freeIndex
 }
 
 // New builds a cluster from node capacities.
 func New(strategy Strategy, capacities ...float64) *Cluster {
-	c := &Cluster{strategy: strategy}
+	return build(strategy, false, capacities)
+}
+
+// NewReference builds a cluster that places with the original linear
+// best/worst-fit scan instead of the free-capacity index — the retained
+// ground-truth implementation for equivalence tests and benchmarks.
+func NewReference(strategy Strategy, capacities ...float64) *Cluster {
+	return build(strategy, true, capacities)
+}
+
+func build(strategy Strategy, linear bool, capacities []float64) *Cluster {
+	c := &Cluster{strategy: strategy, linear: linear, byName: make(map[string]*Node, len(capacities))}
 	for i, cap := range capacities {
 		if cap <= 0 {
 			panic("cluster: non-positive node capacity")
 		}
-		c.nodes = append(c.nodes, &Node{Name: fmt.Sprintf("node-%d", i), Capacity: cap})
+		n := &Node{Name: fmt.Sprintf("node-%d", i), Capacity: cap, c: c, i: int32(i)}
+		c.nodes = append(c.nodes, n)
+		c.byName[n.Name] = n
+		c.totalCap += cap
+		c.availCap += cap
 	}
 	if len(c.nodes) == 0 {
 		panic("cluster: no nodes")
+	}
+	if !linear {
+		c.idx.init(len(c.nodes), strategy == WorstFit)
+		for _, n := range c.nodes {
+			c.idx.insert(n.i, n.Capacity)
+		}
 	}
 	return c
 }
@@ -98,46 +174,69 @@ func PaperTestbed() *Cluster {
 	return New(WorstFit, 40, 48, 56, 64, 64, 72, 80, 88)
 }
 
+// Synthetic builds an n-node fleet whose capacities are drawn
+// deterministically from the paper testbed's range (40–88 CPUs in steps of
+// 8) — the cluster-size knob for fleet-scale experiments. Equal (n, seed)
+// produce identical clusters on any platform.
+func Synthetic(strategy Strategy, n int, seed int64) *Cluster {
+	return New(strategy, SyntheticCapacities(n, seed)...)
+}
+
+// SyntheticCapacities draws the node capacities Synthetic uses, so callers
+// can build a retained-reference twin (NewReference) of the same fleet.
+func SyntheticCapacities(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = float64(40 + 8*rng.Intn(7))
+	}
+	return caps
+}
+
 // Nodes lists the nodes (callers must not mutate).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
 // NodeByName finds a node by name, or nil.
 func (c *Cluster) NodeByName(name string) *Node {
-	for _, n := range c.nodes {
-		if n.Name == name {
-			return n
-		}
-	}
-	return nil
+	return c.byName[name]
 }
 
 // TotalCapacity sums node capacities, down or not.
 func (c *Cluster) TotalCapacity() float64 {
-	t := 0.0
-	for _, n := range c.nodes {
-		t += n.Capacity
+	if c.linear {
+		t := 0.0
+		for _, n := range c.nodes {
+			t += n.Capacity
+		}
+		return t
 	}
-	return t
+	return c.totalCap
 }
 
 // AvailableCapacity sums the capacities of up nodes only.
 func (c *Cluster) AvailableCapacity() float64 {
-	t := 0.0
-	for _, n := range c.nodes {
-		if !n.down {
-			t += n.Capacity
+	if c.linear {
+		t := 0.0
+		for _, n := range c.nodes {
+			if !n.down {
+				t += n.Capacity
+			}
 		}
+		return t
 	}
-	return t
+	return c.availCap
 }
 
 // TotalUsed sums allocated CPUs.
 func (c *Cluster) TotalUsed() float64 {
-	t := 0.0
-	for _, n := range c.nodes {
-		t += n.used
+	if c.linear {
+		t := 0.0
+		for _, n := range c.nodes {
+			t += n.used
+		}
+		return t
 	}
-	return t
+	return c.totalUsed
 }
 
 // ErrNoCapacity is returned when no node can host the replica. It carries
@@ -161,15 +260,66 @@ func (e ErrNoCapacity) Error() string {
 	return msg
 }
 
+// fitEps absorbs float accumulation error in the fit check: a node fits when
+// its free capacity is within 1e-9 of the request.
+const fitEps = 1e-9
+
 // Place allocates cpus on an up node per the strategy. Ties on equal free
-// capacity break to the lowest node index, deterministically.
+// capacity break to the lowest node index, deterministically. O(log n) via
+// the free-capacity index; the ErrNoCapacity diagnostic reads the
+// incrementally maintained aggregates instead of re-scanning nodes.
 func (c *Cluster) Place(cpus float64) (Placement, error) {
 	if cpus <= 0 {
 		panic("cluster: non-positive placement")
 	}
+	if c.linear {
+		return c.placeLinear(cpus)
+	}
+	var pick int32 = -1
+	switch c.strategy {
+	case BestFit:
+		// Tightest fit: the smallest (free, index) key with free ≥ request.
+		pick = c.idx.ceil(cpus - fitEps)
+	case WorstFit:
+		// Emptiest node in one descent: the WorstFit index orders equal-free
+		// ties by descending index, so max() is already the lowest-index
+		// holder of the largest free fragment.
+		if m := c.idx.max(); m != -1 && c.idx.freeOf(m) >= cpus-fitEps {
+			pick = m
+		}
+	}
+	if pick == -1 {
+		return Placement{}, ErrNoCapacity{
+			CPUs:        cpus,
+			LargestFree: c.largestFree(),
+			TotalFree:   c.availCap - c.usedUp,
+			DownNodes:   c.downCount,
+		}
+	}
+	best := c.nodes[pick]
+	best.used += cpus
+	c.totalUsed += cpus
+	c.usedUp += cpus
+	c.idx.update(best.i, best.Free())
+	return Placement{Node: best, CPUs: cpus}, nil
+}
+
+// largestFree reports the biggest free fragment on any up node (0 when every
+// node is down).
+func (c *Cluster) largestFree() float64 {
+	if m := c.idx.max(); m != -1 {
+		return c.idx.freeOf(m)
+	}
+	return 0
+}
+
+// placeLinear is the retained pre-index implementation: one O(n) scan per
+// placement, with an O(n) diagnostic scan on failure. The property test pins
+// the indexed path to this node for node.
+func (c *Cluster) placeLinear(cpus float64) (Placement, error) {
 	var best *Node
 	for _, n := range c.nodes {
-		if n.down || n.Free() < cpus-1e-9 {
+		if n.down || n.Free() < cpus-fitEps {
 			continue
 		}
 		if best == nil {
@@ -205,12 +355,25 @@ func (c *Cluster) Release(p Placement) {
 	if p.Node == nil {
 		return
 	}
-	p.Node.used -= p.CPUs
-	if p.Node.used < -1e-9 {
+	n := p.Node
+	old := n.used
+	n.used -= p.CPUs
+	if n.used < -fitEps {
 		panic("cluster: released more than allocated")
 	}
-	if p.Node.used < 0 {
-		p.Node.used = 0
+	if n.used < 0 {
+		n.used = 0
+	}
+	if c.linear {
+		return
+	}
+	delta := old - n.used
+	c.totalUsed -= delta
+	if !n.down {
+		// Down nodes are out of the index; their used CPUs rejoin the up
+		// aggregates when SetDown(false) re-links them.
+		c.usedUp -= delta
+		c.idx.update(n.i, n.Free())
 	}
 }
 
@@ -224,7 +387,7 @@ func (c *Cluster) FitsReplicas(cpus float64) int {
 			continue
 		}
 		free := node.Free()
-		for free >= cpus-1e-9 {
+		for free >= cpus-fitEps {
 			free -= cpus
 			n++
 		}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPlace times one Place+Release cycle on a half-full synthetic
+// fleet, for the maintained free-capacity index ("indexed") and the retained
+// linear scan ("linear"), across node counts. The headline fleet-scale claim
+// is the indexed/linear ratio at 1024 nodes (BENCH_placement.json pins it).
+func BenchmarkPlace(b *testing.B) {
+	for _, impl := range []string{"indexed", "linear"} {
+		for _, nodes := range []int{8, 64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", impl, nodes), func(b *testing.B) {
+				for _, s := range []Strategy{WorstFit} {
+					caps := SyntheticCapacities(nodes, 7)
+					var c *Cluster
+					if impl == "indexed" {
+						c = New(s, caps...)
+					} else {
+						c = NewReference(s, caps...)
+					}
+					// Fill to ~50% so fit checks exercise realistic
+					// fragmentation rather than an empty fleet.
+					sizes := []float64{1, 2, 4, 8}
+					for i := 0; c.TotalUsed() < 0.5*c.TotalCapacity(); i++ {
+						if _, err := c.Place(sizes[i%len(sizes)]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p, err := c.Place(sizes[i%len(sizes)])
+						if err != nil {
+							b.Fatal(err)
+						}
+						c.Release(p)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSetDown times the node failure/recovery lifecycle on a loaded
+// fleet: the index maintenance cost of draining and restoring a node.
+func BenchmarkSetDown(b *testing.B) {
+	for _, nodes := range []int{8, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			c := Synthetic(WorstFit, nodes, 7)
+			for c.TotalUsed() < 0.5*c.TotalCapacity() {
+				if _, err := c.Place(4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			n := c.nodes[nodes/2]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.SetDown(true)
+				n.SetDown(false)
+			}
+		})
+	}
+}

@@ -32,9 +32,11 @@ type Manager struct {
 	// re-verifies the incumbent pick in O(terms) and reuses it (with costs
 	// refreshed for the new loads) instead of re-running branch-and-bound.
 	// Latency rows and certified bounds are load-independent, so the reused
-	// incumbent stays feasible; within ε it also stays near-cheapest. 0
-	// (the default) disables the fast path, keeping every Optimize a full
-	// solve — and experiment outputs byte-identical to a build without it.
+	// incumbent stays feasible; within ε it also stays near-cheapest.
+	// NewManager sets DefaultReSolveEpsilon — the fast path is the default
+	// steady-state mode, with the full solve as fallback on any ε violation.
+	// 0 disables it (a zero-value Manager literal keeps every Optimize a
+	// full solve); experiments expose that via -no-fast-resolve.
 	ReSolveEpsilon float64
 	// FastResolveCount counts Optimize calls served by the incremental
 	// path (always ≤ OptimizeCount).
@@ -66,21 +68,29 @@ func TargetsFor(spec services.AppSpec) []ClassTarget {
 	return out
 }
 
-// NewManager builds a manager from exploration output.
+// DefaultReSolveEpsilon is the relative load-drift tolerance NewManager
+// installs for the incremental re-solve fast path: steady-state re-solves
+// whose every load moved < 5% reuse the verified incumbent instead of
+// re-running branch-and-bound (~10 µs vs ~39 µs per BENCH_decision.json).
+const DefaultReSolveEpsilon = 0.05
+
+// NewManager builds a manager from exploration output, with the incremental
+// re-solve fast path on at DefaultReSolveEpsilon.
 func NewManager(spec services.AppSpec, profiles map[string]*Profile) *Manager {
 	return &Manager{
-		Spec:     spec,
-		Profiles: profiles,
-		Targets:  TargetsFor(spec),
+		Spec:           spec,
+		Profiles:       profiles,
+		Targets:        TargetsFor(spec),
+		ReSolveEpsilon: DefaultReSolveEpsilon,
 	}
 }
 
-// CloneFresh returns a new manager sharing this one's spec and exploration
-// profiles but with pristine runtime state — deploying the same exploration
-// output onto another application instance, as the paper does across its
-// load scenarios.
+// CloneFresh returns a new manager sharing this one's spec, exploration
+// profiles and fast-path setting but with pristine runtime state — deploying
+// the same exploration output onto another application instance, as the
+// paper does across its load scenarios.
 func (m *Manager) CloneFresh() *Manager {
-	return &Manager{Spec: m.Spec, Profiles: m.Profiles, Targets: m.Targets}
+	return &Manager{Spec: m.Spec, Profiles: m.Profiles, Targets: m.Targets, ReSolveEpsilon: m.ReSolveEpsilon}
 }
 
 // Optimize solves the performance model for the given per-service loads and

@@ -190,7 +190,9 @@ func TestOptimizeIncrementalFastPath(t *testing.T) {
 	}
 }
 
-func TestOptimizeFastPathDisabledByDefault(t *testing.T) {
+// TestOptimizeFastPathOffForZeroValue pins the escape hatch: a zero-value
+// Manager literal (ReSolveEpsilon 0) must run a full solve on every Optimize.
+func TestOptimizeFastPathOffForZeroValue(t *testing.T) {
 	m := twoServiceModel(150)
 	mgr := &Manager{Profiles: m.Profiles, Targets: m.Targets}
 	loads := map[string]map[string]float64{"a": {"req": 100}, "b": {"req": 100}}
@@ -200,10 +202,46 @@ func TestOptimizeFastPathDisabledByDefault(t *testing.T) {
 		}
 	}
 	if mgr.FastResolveCount != 0 {
-		t.Fatalf("fast path must be off by default, FastResolveCount=%d", mgr.FastResolveCount)
+		t.Fatalf("fast path must be off at ε=0, FastResolveCount=%d", mgr.FastResolveCount)
 	}
 	if mgr.OptimizeCount != 3 {
 		t.Fatalf("OptimizeCount = %d", mgr.OptimizeCount)
+	}
+}
+
+// TestNewManagerFastPathDefaultOn pins the flipped default: managers built by
+// NewManager (and their CloneFresh copies) serve steady-state re-solves from
+// the incremental path, and fall back to a full solve past ε drift.
+func TestNewManagerFastPathDefaultOn(t *testing.T) {
+	m := twoServiceModel(150)
+	mgr := NewManager(services.AppSpec{}, m.Profiles)
+	mgr.Targets = m.Targets
+	if mgr.ReSolveEpsilon != DefaultReSolveEpsilon {
+		t.Fatalf("NewManager ReSolveEpsilon = %v, want DefaultReSolveEpsilon %v", mgr.ReSolveEpsilon, DefaultReSolveEpsilon)
+	}
+	if got := mgr.CloneFresh().ReSolveEpsilon; got != mgr.ReSolveEpsilon {
+		t.Fatalf("CloneFresh dropped ReSolveEpsilon: %v", got)
+	}
+	loads := map[string]map[string]float64{"a": {"req": 100}, "b": {"req": 100}}
+	if _, err := mgr.Optimize(loads); err != nil {
+		t.Fatal(err)
+	}
+	// Within ε: served incrementally.
+	drift := map[string]map[string]float64{"a": {"req": 102}, "b": {"req": 99}}
+	if _, err := mgr.Optimize(drift); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 1 {
+		t.Fatalf("within-ε re-solve must hit the fast path, FastResolveCount=%d", mgr.FastResolveCount)
+	}
+	// Past ε: full solve fallback.
+	jump := map[string]map[string]float64{"a": {"req": 150}, "b": {"req": 99}}
+	if _, err := mgr.Optimize(jump); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.FastResolveCount != 1 || mgr.OptimizeCount != 3 {
+		t.Fatalf("past-ε re-solve must fall back to a full solve: fast=%d total=%d",
+			mgr.FastResolveCount, mgr.OptimizeCount)
 	}
 }
 

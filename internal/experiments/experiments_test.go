@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -251,6 +252,47 @@ func TestCorpusShapes(t *testing.T) {
 	r2 := RunCorpus(quick(), CorpusParams{N: 3, Systems: []string{"ursa", "auto-a"}})
 	if string(r.JSON()) != string(r2.JSON()) {
 		t.Error("corpus JSON not reproducible for identical options")
+	}
+}
+
+func TestScalingShapes(t *testing.T) {
+	params := ScalingParams{Nodes: []int{8, 16}, Tenants: []int{1, 2}, FixedNodes: 16, FixedTenants: 2}
+	r := RunScaling(quick(), params)
+	if len(r.NodeSweep) != 2 || len(r.TenantSweep) != 2 {
+		t.Fatalf("sweeps = %d/%d cells", len(r.NodeSweep), len(r.TenantSweep))
+	}
+	for _, c := range append(append([]ScalingCell{}, r.NodeSweep...), r.TenantSweep...) {
+		if c.Admitted+c.Rejected == 0 {
+			t.Errorf("cell nodes=%d tenants=%d admitted nothing and rejected nothing", c.Nodes, c.Tenants)
+		}
+		if c.Admitted > 0 && c.DecisionMs <= 0 {
+			t.Errorf("cell nodes=%d tenants=%d: no decision latency recorded", c.Nodes, c.Tenants)
+		}
+		if c.PlaceNsIndexed <= 0 || c.PlaceNsLinear <= 0 {
+			t.Errorf("cell nodes=%d tenants=%d: placement timing missing", c.Nodes, c.Tenants)
+		}
+	}
+	// The fast path is on by default at fleet scale; a steady constant load
+	// must serve a meaningful share of re-solves incrementally.
+	last := r.TenantSweep[len(r.TenantSweep)-1]
+	if last.Admitted > 0 && last.FastShare <= 0 {
+		t.Errorf("fast_share = 0 with the fast path on by default")
+	}
+	if !strings.Contains(r.Render(), "Fig.S1") {
+		t.Error("render missing header")
+	}
+	// Simulated metrics are reproducible; wall-clock fields are not, so
+	// compare the deterministic subset.
+	r2 := RunScaling(quick(), params)
+	detKey := func(res ScalingResult) string {
+		var b strings.Builder
+		for _, c := range append(append([]ScalingCell{}, res.NodeSweep...), res.TenantSweep...) {
+			fmt.Fprintf(&b, "%d/%d:%d/%d/%v/%d\n", c.Nodes, c.Tenants, c.Admitted, c.Rejected, c.ViolationRate, c.Unschedulable)
+		}
+		return b.String()
+	}
+	if detKey(r) != detKey(r2) {
+		t.Error("scaling simulated metrics not reproducible for identical options")
 	}
 }
 

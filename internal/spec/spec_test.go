@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -418,5 +419,33 @@ func TestGenerateAlwaysBuildable(t *testing.T) {
 		if !reflect.DeepEqual(c.Spec, c2.Spec) {
 			t.Fatalf("seed %d: encode/parse round trip changed the spec", seed)
 		}
+	}
+}
+
+func TestGenerateFleet(t *testing.T) {
+	fleet, err := GenerateFleet(FleetParams{N: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fleet {
+		want := fmt.Sprintf("tenant-%02d", i)
+		if f.App != want {
+			t.Fatalf("member %d named %q, want %q", i, f.App, want)
+		}
+		c, err := Build(f)
+		if err != nil {
+			t.Fatalf("member %d: build: %v", i, err)
+		}
+		if c.Rate <= 0 || len(c.Spec.Services) < 2 {
+			t.Fatalf("member %d: degenerate tenant (rate %v, %d services)", i, c.Rate, len(c.Spec.Services))
+		}
+	}
+	// Member i must not depend on N: a small fleet is a prefix of a large one.
+	solo, err := FleetMember(FleetParams{Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fleet[4], solo) {
+		t.Fatal("FleetMember(4) differs from GenerateFleet member 4")
 	}
 }
