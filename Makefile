@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-telemetry bench-throughput bench-corpus bench-placement validate-specs clean
+.PHONY: all build vet test race check bench bench-core bench-decision bench-resilience bench-region bench-telemetry bench-throughput bench-corpus bench-placement validate-specs clean
 
 all: check
 
@@ -50,6 +50,16 @@ bench-decision:
 # path — crash-eviction, manager re-placement, retries — executes end to end.
 bench-resilience:
 	$(GO) test -run '^$$' -bench 'BenchmarkResilience' -benchtime=1x ./internal/experiments
+
+# bench-region smoke-runs the multi-region grids once at small scale —
+# Fig. R1 (whole-region outage: correlated eviction, cross-region re-solve,
+# WAN-delayed RPC) and Fig. R2 (follow-the-sun spill placement) — so every
+# geo-topology path executes end to end. Diff BENCH_region.json to spot
+# run-time regressions in the region layer.
+bench-region:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegion' -benchtime=1x ./internal/experiments \
+		| $(GO) run ./cmd/benchjson > BENCH_region.json
+	@echo wrote BENCH_region.json
 
 # bench-telemetry runs the bounded-memory telemetry benchmarks: quantile
 # sketch add/merge/query ns/op plus the headline bytes/window comparison

@@ -7,7 +7,8 @@
 //	ursa-bench -exp fig11 -apps social-network,media-service -scale 0.3
 //
 // Experiments: fig2, fig4, tab5, fig9, fig10, fig11 (includes fig12), fig13,
-// tab6, fig14, figf1 (fault injection / recovery), figc1 (generated-topology
+// tab6, fig14, figf1 (fault injection / recovery), figr1 (region failover),
+// figr2 (follow-the-sun multi-region load), figc1 (generated-topology
 // corpus; -corpus-n sizes it, -corpus-json also writes the machine-readable
 // result), figs1 (fleet scaling curve; -figs1-nodes/-figs1-tenants size the
 // sweeps, -figs1-json writes BENCH_placement.json), all. Scale < 1 shortens
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|figc1|figs1|ablation|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|tab5|fig9|fig10|fig11|fig13|tab6|fig14|figf1|figr1|figr2|figc1|figs1|ablation|all")
 		scale    = flag.Float64("scale", 1.0, "duration/sample scale (1.0 = paper-like proportions)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "results", "output directory")
@@ -102,6 +103,8 @@ func main() {
 	run("tab6", func() string { return experiments.RunControlPlane(opts).Render() })
 	run("fig14", func() string { return experiments.RunAdaptation(opts).Render() })
 	run("figf1", func() string { return experiments.RunResilience(opts).Render() })
+	run("figr1", func() string { return experiments.RunRegionFailover(opts).Render() })
+	run("figr2", func() string { return experiments.RunFollowTheSun(opts).Render() })
 	run("figc1", func() string {
 		r := experiments.RunCorpus(opts, experiments.CorpusParams{N: *corpusN, Systems: sysFilter})
 		if *corpusJSON != "" {

@@ -9,6 +9,7 @@
 //	ursa-sim -dump-topology media-service > my-app.yaml
 //	ursa-sim -validate examples/specs/*.yaml examples/specs/*.json
 //	ursa-sim -app social-network -system ursa -resilience -fail-node node-7 -fail-at 10 -fail-for 5
+//	ursa-sim -app social-network -system ursa -regions -resilience -fail-region eu-west
 //	ursa-sim -app social-network -system none -minutes 10 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Systems: ursa, sinan, firm, auto-a, auto-b, none.
@@ -29,6 +30,12 @@
 // client-side RPC timeouts and retries — required for runs where replicas
 // can die, or callers of crashed replicas hang forever, exactly like an
 // unprotected real client.
+//
+// Geo-regions: -regions deploys on the app's region topology (a spec file's
+// regions: section, or the Fig.R1 three-region layout for the built-in
+// social-network): replicas pin to their home region, cross-region RPC pays
+// WAN latency, and -spill controls overflow placement. -fail-region fails
+// every node of a region mid-run (timing via -fail-at/-fail-for).
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"ursa/internal/experiments"
 	"ursa/internal/faults"
 	"ursa/internal/metrics"
+	"ursa/internal/region"
 	"ursa/internal/services"
 	"ursa/internal/sim"
 	"ursa/internal/spec"
@@ -73,9 +81,13 @@ func main() {
 		validate = flag.Bool("validate", false, "parse, validate and compile the spec files given as arguments, then exit (non-zero on error)")
 
 		failNode   = flag.String("fail-node", "", "crash this node mid-run (e.g. node-7); binds the app to the paper testbed cluster")
-		failAt     = flag.Float64("fail-at", 10, "minutes after warm-up at which the node fails")
-		failFor    = flag.Float64("fail-for", 5, "minutes until the failed node recovers (0 = never)")
+		failAt     = flag.Float64("fail-at", 10, "minutes after warm-up at which the node (or region) fails")
+		failFor    = flag.Float64("fail-for", 5, "minutes until the failed node (or region) recovers (0 = never)")
 		resilience = flag.Bool("resilience", false, "enable client-side RPC timeouts and retries")
+
+		useRegions = flag.Bool("regions", false, "deploy on the app's geo-region topology: the spec's regions: section, or the Fig.R1 layout for social-network")
+		spill      = flag.Bool("spill", true, "with -regions, let placement overflow into the nearest foreign region when home is capacity-short")
+		failRegion = flag.String("fail-region", "", "with -regions, fail every node of this region mid-run (timing via -fail-at/-fail-for)")
 
 		telemetry   = flag.String("telemetry", "exact", "latency collectors: exact (raw samples) | sketch (bounded-error quantile sketches, flat memory)")
 		sketchAlpha = flag.Float64("sketch-alpha", 0.01, "relative-error bound for -telemetry sketch")
@@ -129,6 +141,7 @@ func main() {
 	}()
 
 	var c experiments.AppCase
+	var regionTopo region.Topology
 	switch {
 	case *topoFile != "":
 		data, err := os.ReadFile(*topoFile)
@@ -145,6 +158,7 @@ func main() {
 		}
 		c = experiments.AppCase{Name: compiled.Spec.Name, Spec: compiled.Spec,
 			Mix: compiled.Mix, TotalRPS: compiled.Rate}
+		regionTopo = compiled.Regions
 	case *specFile != "":
 		data, err := os.ReadFile(*specFile)
 		if err != nil {
@@ -222,23 +236,68 @@ func main() {
 	eng := sim.NewEngine(*seed)
 	warm := 2 * sim.Minute
 	var (
-		app *services.App
-		err error
-		in  *faults.Injector
-		cl  *cluster.Cluster
+		app           *services.App
+		err           error
+		in            *faults.Injector
+		cl            *cluster.Cluster
+		rm            *region.Map
+		regionEvicted int
 	)
-	if *failNode != "" {
+	switch {
+	case *useRegions:
+		if *failNode != "" {
+			fatalf("-regions is incompatible with -fail-node (use -fail-region)")
+		}
+		if regionTopo.Empty() && c.Name == "social-network" {
+			// The built-in app has no regions: section; use the Fig.R1 layout.
+			regionTopo = experiments.SocialNetworkRegions()
+		}
+		if regionTopo.Empty() {
+			fatalf("-regions: %s declares no regions (add a regions: section to the spec)", c.Name)
+		}
+		regionTopo.Spill = *spill
+		cl = regionTopo.Cluster(cluster.WorstFit)
+		rm, err = region.New(regionTopo, cl)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *failRegion != "" {
+			known := false
+			for _, g := range regionTopo.Groups {
+				known = known || g.Name == *failRegion
+			}
+			if !known {
+				fatalf("unknown region %q", *failRegion)
+			}
+		}
+	case *failNode != "":
 		// Node faults need real placements to evict: bind to the testbed.
 		cl = cluster.PaperTestbed()
 		if cl.NodeByName(*failNode) == nil {
 			fatalf("unknown node %q (testbed has node-0 … node-7)", *failNode)
 		}
 	}
-	app, err = services.NewAppTelemetry(eng, c.Spec, 0, cl, tc)
+	if rm != nil {
+		app, err = services.NewAppTelemetryPlaced(eng, c.Spec, 0, cl, tc, rm)
+	} else {
+		app, err = services.NewAppTelemetry(eng, c.Spec, 0, cl, tc)
+	}
 	if err != nil {
 		fatalf("deploy: %v", err)
 	}
-	if cl != nil {
+	if rm != nil {
+		rm.Bind(eng, app)
+		if *failRegion != "" {
+			eng.Schedule(warm+sim.Time(*failAt*float64(sim.Minute)), func() {
+				regionEvicted = rm.FailRegion(*failRegion)
+			})
+			if *failFor > 0 {
+				eng.Schedule(warm+sim.Time((*failAt+*failFor)*float64(sim.Minute)), func() {
+					rm.RecoverRegion(*failRegion)
+				})
+			}
+		}
+	} else if cl != nil {
 		in = faults.New(eng, app, cl, faults.Schedule{NodeFails: []faults.NodeFail{{
 			Node: *failNode,
 			At:   warm + sim.Time(*failAt*float64(sim.Minute)),
@@ -261,8 +320,8 @@ func main() {
 	}
 	if *resilience {
 		app.SetResilience(services.ResiliencePolicy{})
-	} else if *failNode != "" {
-		fmt.Fprintln(os.Stderr, "ursa-sim: warning: -fail-node without -resilience — callers of crashed replicas will hang")
+	} else if *failNode != "" || *failRegion != "" {
+		fmt.Fprintln(os.Stderr, "ursa-sim: warning: node/region failure without -resilience — callers of crashed replicas will hang")
 	}
 	gen := workload.New(eng, app, pattern, c.Mix)
 	gen.Start()
@@ -325,7 +384,7 @@ func main() {
 		fmt.Printf("avg decision latency:       %.3f ms\n", mgr.AvgDecisionMillis())
 	}
 	fmt.Printf("jobs injected/completed:    %d/%d\n", app.InjectedJobs, app.CompletedJobs())
-	if *resilience || in != nil {
+	if *resilience || in != nil || *failRegion != "" {
 		fmt.Printf("jobs failed:                %d (availability %.3f%%)\n", app.FailedJobs(), app.Availability()*100)
 	}
 	if *resilience {
@@ -342,6 +401,12 @@ func main() {
 		fmt.Println("\nfault log:")
 		for _, rec := range in.Records {
 			fmt.Printf("  %-12v %s\n", rec.At, rec.Detail)
+		}
+	}
+	if rm != nil {
+		fmt.Printf("replicas spilled:           %d (WAN hops: %d)\n", rm.Spilled, rm.WANHops)
+		if *failRegion != "" {
+			fmt.Printf("replicas evicted:           %d (unschedulable events: %d)\n", regionEvicted, app.UnschedulableEvents)
 		}
 	}
 }

@@ -33,6 +33,7 @@ type Node struct {
 	cpuFactor float64
 
 	c *Cluster // owning cluster (index + aggregate maintenance)
+	g *group   // owning node group (nil on ungrouped clusters)
 	i int32    // index in c.nodes, the placement tie-break key
 }
 
@@ -68,6 +69,19 @@ func (n *Node) SetDown(down bool) {
 		c.availCap += n.Capacity
 		c.usedUp += n.used
 		c.downCount--
+	}
+	if g := n.g; g != nil {
+		if down {
+			g.idx.erase(n.i)
+			g.availCap -= n.Capacity
+			g.usedUp -= n.used
+			g.downCount++
+		} else {
+			g.idx.insert(n.i, n.Free())
+			g.availCap += n.Capacity
+			g.usedUp += n.used
+			g.downCount--
+		}
 	}
 }
 
@@ -131,6 +145,11 @@ type Cluster struct {
 	downCount int
 
 	idx freeIndex
+
+	// Node groups (NewGrouped): declaration-ordered members with group-scoped
+	// indexes for region-restricted placement. Empty on ungrouped clusters.
+	groups      []*group
+	groupByName map[string]*group
 }
 
 // New builds a cluster from node capacities.
@@ -245,6 +264,7 @@ func (c *Cluster) TotalUsed() float64 {
 // and the total free capacity across up nodes.
 type ErrNoCapacity struct {
 	CPUs        float64 // requested
+	Group       string  // node group the request was restricted to ("" = whole cluster)
 	LargestFree float64 // biggest free fragment on any up node
 	TotalFree   float64 // free CPUs summed over up nodes
 	DownNodes   int     // nodes currently failed
@@ -252,8 +272,12 @@ type ErrNoCapacity struct {
 
 // Error implements error.
 func (e ErrNoCapacity) Error() string {
-	msg := fmt.Sprintf("cluster: no node with %.1f free CPUs (largest free fragment %.1f, %.1f total free)",
-		e.CPUs, e.LargestFree, e.TotalFree)
+	where := "node"
+	if e.Group != "" {
+		where = fmt.Sprintf("node in group %q", e.Group)
+	}
+	msg := fmt.Sprintf("cluster: no %s with %.1f free CPUs (largest free fragment %.1f, %.1f total free)",
+		where, e.CPUs, e.LargestFree, e.TotalFree)
 	if e.DownNodes > 0 {
 		msg += fmt.Sprintf("; %d node(s) down", e.DownNodes)
 	}
@@ -296,12 +320,22 @@ func (c *Cluster) Place(cpus float64) (Placement, error) {
 			DownNodes:   c.downCount,
 		}
 	}
-	best := c.nodes[pick]
+	return c.commitPlace(c.nodes[pick], cpus), nil
+}
+
+// commitPlace books an indexed-mode allocation on the chosen node, keeping the
+// cluster-wide and (when the node belongs to one) group-level indexes and
+// aggregates in step.
+func (c *Cluster) commitPlace(best *Node, cpus float64) Placement {
 	best.used += cpus
 	c.totalUsed += cpus
 	c.usedUp += cpus
 	c.idx.update(best.i, best.Free())
-	return Placement{Node: best, CPUs: cpus}, nil
+	if g := best.g; g != nil {
+		g.idx.update(best.i, best.Free())
+		g.usedUp += cpus
+	}
+	return Placement{Node: best, CPUs: cpus}
 }
 
 // largestFree reports the biggest free fragment on any up node (0 when every
@@ -374,6 +408,10 @@ func (c *Cluster) Release(p Placement) {
 		// aggregates when SetDown(false) re-links them.
 		c.usedUp -= delta
 		c.idx.update(n.i, n.Free())
+		if g := n.g; g != nil {
+			g.usedUp -= delta
+			g.idx.update(n.i, n.Free())
+		}
 	}
 }
 

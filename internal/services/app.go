@@ -30,6 +30,11 @@ type App struct {
 	Cluster             *cluster.Cluster
 	UnschedulableEvents int
 
+	// Placer, when non-nil, overrides Cluster.Place for new replicas — the
+	// hook a geo-topology uses to pin replicas to their home region and spill
+	// when it is capacity-short. Only consulted when Cluster is also set.
+	Placer Placer
+
 	// Tracer, when non-nil, samples jobs and records per-service spans.
 	Tracer *trace.Tracer
 
@@ -51,6 +56,7 @@ type App struct {
 
 	res     *ResiliencePolicy
 	resRNG  *rand.Rand
+	errRNG  *rand.Rand
 	sampler *sim.Ticker
 
 	telemetry TelemetryConfig
@@ -60,6 +66,14 @@ type App struct {
 	// experiment runs never share them.
 	framePool []*frame
 	reqPool   []*Request
+}
+
+// Placer chooses a node for a new replica of the named service. Implementors
+// must allocate on the app's bound cluster (the returned placement is released
+// through it); returning an error leaves the service at its current size and
+// counts as an unschedulable event.
+type Placer interface {
+	PlaceReplica(service string, cpus float64) (cluster.Placement, error)
 }
 
 // Eviction records replicas one service lost in a crash event.
@@ -81,6 +95,14 @@ func NewAppOnCluster(eng *sim.Engine, spec AppSpec, cl *cluster.Cluster) (*App, 
 	return newApp(eng, spec, metrics.DefaultWindow, cl)
 }
 
+// NewAppOnClusterPlaced is NewAppOnCluster with a replica placer installed
+// before the initial replicas deploy, so deployment-time placement goes
+// through it too (a region map pins even the first replica of every service
+// to its home region).
+func NewAppOnClusterPlaced(eng *sim.Engine, spec AppSpec, cl *cluster.Cluster, p Placer) (*App, error) {
+	return newAppPlaced(eng, spec, metrics.DefaultWindow, cl, TelemetryConfig{}, p)
+}
+
 // NewAppWindow is NewApp with a custom metrics window. Exploration and
 // profiling harnesses use finer windows so their sampling cadence and the
 // metric buckets stay aligned.
@@ -93,6 +115,10 @@ func newApp(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster)
 }
 
 func newAppTelemetry(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster, tc TelemetryConfig) (*App, error) {
+	return newAppPlaced(eng, spec, window, cl, tc, nil)
+}
+
+func newAppPlaced(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster, tc TelemetryConfig, p Placer) (*App, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,6 +131,7 @@ func newAppTelemetry(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster
 		services:  map[string]*Service{},
 		window:    window,
 		Cluster:   cl,
+		Placer:    p,
 		telemetry: tc,
 	}
 	a.E2E = a.newLatencyRecorder()
@@ -128,6 +155,16 @@ func MustNewApp(eng *sim.Engine, spec AppSpec) *App {
 
 // Window reports the metrics window size.
 func (a *App) Window() sim.Time { return a.window }
+
+// drawError samples one per-call error draw against prob. The stream is
+// created on first use, so apps whose handlers carry no error rates never
+// touch it — their event sequence is identical to pre-error-rate builds.
+func (a *App) drawError(prob float64) bool {
+	if a.errRNG == nil {
+		a.errRNG = a.Eng.RNG("errors/" + a.Spec.Name)
+	}
+	return a.errRNG.Float64() < prob
+}
 
 // Service returns a service by name, or nil.
 func (a *App) Service(name string) *Service { return a.services[name] }

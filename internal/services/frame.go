@@ -160,6 +160,9 @@ func (f *frame) exec() {
 			if st.Class != "" {
 				class = st.Class
 			}
+			// One error draw per logical call (not per delivery attempt): an
+			// application error is deterministic under retries.
+			fail := st.ErrorProb > 0 && a.drawError(st.ErrorProb)
 			switch st.Mode {
 			case NestedRPC:
 				f.i++
@@ -171,6 +174,7 @@ func (f *frame) exec() {
 					rpc.Job = req.Job
 					rpc.Class = class
 					rpc.Priority = req.Priority
+					rpc.Failed = fail
 					rpc.onDone = f.rpcDoneFn
 					f.rpcReq = rpc
 					f.t0 = 0
@@ -178,7 +182,7 @@ func (f *frame) exec() {
 					target.Send(rpc, f.acceptedFn)
 				} else {
 					f.refs++
-					a.callNested(req, target, class, f.waitAcc, f.advanceFn)
+					a.callNested(req, target, class, fail, f.waitAcc, f.advanceFn)
 				}
 				return
 			case EventRPC:
@@ -195,13 +199,14 @@ func (f *frame) exec() {
 						rpc.Job = req.Job
 						rpc.Class = class
 						rpc.Priority = req.Priority
+						rpc.Failed = fail
 						rpc.onDone = func() {
 							release()
 							rpc.jobBranchDone()
 						}
 						target.Send(rpc, nil)
 					} else {
-						a.sendEvent(req, target, class, release)
+						a.sendEvent(req, target, class, fail, release)
 					}
 					f.refs--
 					f.exec()
@@ -213,6 +218,7 @@ func (f *frame) exec() {
 				mq.Job = req.Job
 				mq.Class = class
 				mq.Priority = req.Priority
+				mq.Failed = fail
 				mq.doneBranch = true
 				target.Enqueue(mq)
 				f.i++

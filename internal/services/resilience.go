@@ -156,8 +156,10 @@ func (a *App) rpcAttempts(src string, target *Service, newReq func() (*Request, 
 // callNested delivers one logical nested-RPC call under the app's resilience
 // policy and network injector. cont runs exactly once: after a successful
 // response (downstream wait accounted), or with req.Failed set once attempts
-// are exhausted — the calling handler then aborts.
-func (a *App) callNested(req *Request, target *Service, class string, waitAcc *sim.Time, cont func()) {
+// are exhausted — the calling handler then aborts. fail pre-marks every
+// delivery attempt as an application error (Call.ErrorProb): the callee
+// rejects each resend too, so the call exhausts its retries and fails.
+func (a *App) callNested(req *Request, target *Service, class string, fail bool, waitAcc *sim.Time, cont func()) {
 	var t0 sim.Time
 	admitted := false
 	cur := 0
@@ -165,7 +167,7 @@ func (a *App) callNested(req *Request, target *Service, class string, waitAcc *s
 		cur++
 		mine := cur
 		admitted = false
-		return &Request{Job: req.Job, Class: class, Priority: req.Priority},
+		return &Request{Job: req.Job, Class: class, Priority: req.Priority, Failed: fail},
 			func() {
 				// Ghost admissions of abandoned attempts must not restart
 				// the live attempt's wait clock.
@@ -187,10 +189,10 @@ func (a *App) callNested(req *Request, target *Service, class string, waitAcc *s
 // sendEvent is callNested for event-RPC branches: the caller's handler has
 // already responded, so a terminal failure fails the job's branch rather
 // than aborting the caller.
-func (a *App) sendEvent(req *Request, target *Service, class string, release func()) {
+func (a *App) sendEvent(req *Request, target *Service, class string, fail bool, release func()) {
 	job := req.Job
 	a.rpcAttempts(req.svc.Name(), target, func() (*Request, func()) {
-		return &Request{Job: job, Class: class, Priority: req.Priority}, nil
+		return &Request{Job: job, Class: class, Priority: req.Priority, Failed: fail}, nil
 	}, func(failed bool) {
 		release()
 		if failed {

@@ -107,7 +107,13 @@ func (s *Service) QueueLenPriority(p int) int { return s.queue.lenPriority(p) }
 func (s *Service) addReplica() bool {
 	r := newReplica(s)
 	if cl := s.app.Cluster; cl != nil {
-		p, err := cl.Place(s.spec.CPUs)
+		var p cluster.Placement
+		var err error
+		if pl := s.app.Placer; pl != nil {
+			p, err = pl.PlaceReplica(s.spec.Name, s.spec.CPUs)
+		} else {
+			p, err = cl.Place(s.spec.CPUs)
+		}
 		if err != nil {
 			s.app.UnschedulableEvents++
 			return false

@@ -82,6 +82,15 @@ type Call struct {
 	// downstream handler (and under which the downstream tier accounts the
 	// request). Empty means "inherit the current class".
 	Class string
+	// ErrorProb, when > 0, is the probability the callee rejects this
+	// logical call with an application error: the request is delivered but
+	// its handler aborts immediately, so the error propagates exactly like
+	// any other downstream failure (nested-RPC callers abort, event/MQ
+	// branches fail their job) and client-side retries burn through — an
+	// application-level error is not recovered by resending. Draws come from
+	// a dedicated per-app RNG stream, so handlers without error rates are
+	// byte-identical to builds without this field.
+	ErrorProb float64
 }
 
 func (Call) isStep() {}

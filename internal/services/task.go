@@ -141,6 +141,9 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 			if st.Class != "" {
 				class = st.Class
 			}
+			// One error draw per logical call (not per delivery attempt): an
+			// application error is deterministic under retries.
+			fail := st.ErrorProb > 0 && a.drawError(st.ErrorProb)
 			switch st.Mode {
 			case NestedRPC:
 				if a.res == nil && a.Net == nil {
@@ -152,6 +155,7 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 						Job:      req.Job,
 						Class:    class,
 						Priority: req.Priority,
+						Failed:   fail,
 					}
 					rpc.onDone = func() {
 						if rpc.Failed {
@@ -162,7 +166,7 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 					}
 					target.Send(rpc, func() { t0 = a.Eng.Now() })
 				} else {
-					a.callNested(req, target, class, waitAcc, func() { step(i + 1) })
+					a.callNested(req, target, class, fail, waitAcc, func() { step(i + 1) })
 				}
 			case EventRPC:
 				// Block the worker until a daemon slot is granted, then
@@ -176,6 +180,7 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 							Job:      req.Job,
 							Class:    class,
 							Priority: req.Priority,
+							Failed:   fail,
 						}
 						rpc.onDone = func() {
 							release()
@@ -183,7 +188,7 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 						}
 						target.Send(rpc, nil)
 					} else {
-						a.sendEvent(req, target, class, release)
+						a.sendEvent(req, target, class, fail, release)
 					}
 					step(i + 1)
 				})
@@ -193,6 +198,7 @@ func (a *App) runStepsReference(req *Request, steps []Step, waitAcc *sim.Time, d
 					Job:      req.Job,
 					Class:    class,
 					Priority: req.Priority,
+					Failed:   fail,
 				}
 				mq.onDone = mq.jobBranchDone
 				target.Enqueue(mq)

@@ -31,6 +31,12 @@ func NewAppTelemetry(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster
 	return newAppTelemetry(eng, spec, window, cl, tc)
 }
 
+// NewAppTelemetryPlaced is NewAppTelemetry with a replica placer installed
+// before the initial replicas deploy (see NewAppOnClusterPlaced).
+func NewAppTelemetryPlaced(eng *sim.Engine, spec AppSpec, window sim.Time, cl *cluster.Cluster, tc TelemetryConfig, p Placer) (*App, error) {
+	return newAppPlaced(eng, spec, window, cl, tc, p)
+}
+
 // Telemetry reports the app's telemetry configuration.
 func (a *App) Telemetry() TelemetryConfig { return a.telemetry }
 

@@ -3,6 +3,7 @@ package spec
 import (
 	"fmt"
 
+	"ursa/internal/region"
 	"ursa/internal/services"
 	"ursa/internal/workload"
 )
@@ -32,6 +33,10 @@ type Compiled struct {
 	// Rate is the declared total RPS (0 when the file has no workload
 	// section).
 	Rate float64
+	// Regions is the declared geo-topology with per-service home-region
+	// bindings (zero value when the file declares no regions). The spill
+	// policy is a runtime knob, not spec data.
+	Regions region.Topology
 }
 
 // Build compiles a validated File into a services.AppSpec and workload.Mix.
@@ -67,6 +72,7 @@ func Build(f *File) (Compiled, error) {
 			out.Mix[e.Class] = e.Weight
 		}
 	}
+	out.Regions = regionTopology(f)
 	// The compiled spec must satisfy the simulator's own validator too —
 	// belt and braces; the spec-level walker is strictly stricter today.
 	if err := out.Spec.Validate(); err != nil {
@@ -138,7 +144,7 @@ func buildSteps(in []Step) ([]services.Step, error) {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, services.Call{Service: st.Service, Mode: mode, Class: st.Class})
+			out = append(out, services.Call{Service: st.Service, Mode: mode, Class: st.Class, ErrorProb: st.ErrorRate})
 		case StepSpawn:
 			out = append(out, services.Spawn{Service: st.Service, Class: st.Class})
 		case StepPar:
@@ -156,6 +162,34 @@ func buildSteps(in []Step) ([]services.Step, error) {
 		}
 	}
 	return out, nil
+}
+
+// regionTopology lifts the file's regions section (plus per-service region
+// bindings) into the runtime geo-topology. A file with no regions yields the
+// zero Topology, whose Install is a no-op.
+func regionTopology(f *File) region.Topology {
+	var t region.Topology
+	for _, r := range f.Regions {
+		t.Groups = append(t.Groups, region.Group{
+			Name:       r.Name,
+			Capacities: append([]float64(nil), r.Nodes...),
+		})
+		for _, e := range r.WAN {
+			t.Links = append(t.Links, region.Link{
+				From: r.Name, To: e.To,
+				LatencyMs: e.LatencyMs, JitterMs: e.JitterMs,
+			})
+		}
+	}
+	for i := range f.Services {
+		if s := &f.Services[i]; s.Region != "" {
+			if t.Bindings == nil {
+				t.Bindings = map[string]string{}
+			}
+			t.Bindings[s.Name] = s.Region
+		}
+	}
+	return t
 }
 
 func buildMode(s string) (services.CallMode, error) {

@@ -100,7 +100,7 @@ func decodeFile(root *node) (*File, *Error) {
 		return nil, errf("", "top level must be a mapping")
 	}
 	f := &File{}
-	if err := checkKeys(root, "", "version", "app", "services", "classes", "workload"); err != nil {
+	if err := checkKeys(root, "", "version", "app", "regions", "services", "classes", "workload"); err != nil {
 		return nil, err
 	}
 	var err *Error
@@ -109,6 +109,18 @@ func decodeFile(root *node) (*File, *Error) {
 	}
 	if f.App, err = strField(root, "", "app", true); err != nil {
 		return nil, err
+	}
+	if rn := root.get("regions"); rn != nil {
+		if rn.kind != seqNode {
+			return nil, errf("regions", "want a sequence of regions")
+		}
+		for i, item := range rn.items {
+			r, err := decodeRegion(item, fmt.Sprintf("regions[%d]", i))
+			if err != nil {
+				return nil, err
+			}
+			f.Regions = append(f.Regions, r)
+		}
 	}
 	svcs := root.get("services")
 	if svcs == nil || svcs.kind != seqNode {
@@ -142,6 +154,45 @@ func decodeFile(root *node) (*File, *Error) {
 	return f, nil
 }
 
+func decodeRegion(n *node, path string) (Region, *Error) {
+	var r Region
+	if n.kind != mapNode {
+		return r, errf(path, "region must be a mapping")
+	}
+	var err *Error
+	if r.Name, err = strField(n, path, "name", true); err != nil {
+		return r, err
+	}
+	path = "regions." + r.Name
+	if err := checkKeys(n, path, "name", "nodes", "wan"); err != nil {
+		return r, err
+	}
+	nn := n.get("nodes")
+	if nn == nil || nn.kind != seqNode {
+		return r, errf(path+".nodes", "required sequence missing")
+	}
+	for i, cn := range nn.items {
+		v, err := scalarFloat(cn, fmt.Sprintf("%s.nodes[%d]", path, i))
+		if err != nil {
+			return r, err
+		}
+		r.Nodes = append(r.Nodes, v)
+	}
+	if wn := n.get("wan"); wn != nil {
+		if wn.kind != mapNode {
+			return r, errf(path+".wan", "want a mapping of region to latency")
+		}
+		for _, p := range wn.pairs {
+			d, err := durationField(p.value, path+".wan."+p.key)
+			if err != nil {
+				return r, err
+			}
+			r.WAN = append(r.WAN, WANEdge{To: p.key, LatencyMs: d.MeanMs, JitterMs: d.DevMs})
+		}
+	}
+	return r, nil
+}
+
 func decodeService(n *node, path string) (Service, *Error) {
 	var s Service
 	if n.kind != mapNode {
@@ -154,7 +205,7 @@ func decodeService(n *node, path string) (Service, *Error) {
 	// From here on, name the service in paths — friendlier than an index.
 	path = "services." + s.Name
 	if err := checkKeys(n, path, "name", "kind", "cpus", "replicas", "threads",
-		"daemons", "max_replicas", "startup_delay", "ingress", "operations"); err != nil {
+		"daemons", "max_replicas", "startup_delay", "region", "ingress", "operations"); err != nil {
 		return s, err
 	}
 	if s.Kind, err = strField(n, path, "kind", true); err != nil {
@@ -184,6 +235,9 @@ func decodeService(n *node, path string) (Service, *Error) {
 			return s, errf(path+".startup_delay", "spread syntax not allowed here")
 		}
 		s.StartupDelaySec = d.MeanMs / 1000
+	}
+	if s.Region, err = strField(n, path, "region", false); err != nil {
+		return s, err
 	}
 	if in := n.get("ingress"); in != nil {
 		ing, err := decodeIngress(in, path+".ingress")
@@ -316,7 +370,7 @@ func decodeStep(n *node, path string) (Step, *Error) {
 			}
 			st.Service = val.scalar
 		case mapNode:
-			if err := checkKeys(val, path+".call", "service", "mode", "class"); err != nil {
+			if err := checkKeys(val, path+".call", "service", "mode", "class", "error_rate"); err != nil {
 				return st, err
 			}
 			var err *Error
@@ -327,6 +381,9 @@ func decodeStep(n *node, path string) (Step, *Error) {
 				return st, err
 			}
 			if st.Class, err = strField(val, path+".call", "class", false); err != nil {
+				return st, err
+			}
+			if st.ErrorRate, err = floatField(val, path+".call", "error_rate"); err != nil {
 				return st, err
 			}
 		default:

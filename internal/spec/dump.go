@@ -99,7 +99,7 @@ func canonicalSteps(in []services.Step) ([]Step, error) {
 		case services.Compute:
 			out = append(out, Step{Kind: StepCompute, Duration: Duration{MeanMs: s.MeanMs}, CV: s.CV})
 		case services.Call:
-			out = append(out, Step{Kind: StepCall, Service: s.Service, Mode: s.Mode.String(), Class: s.Class})
+			out = append(out, Step{Kind: StepCall, Service: s.Service, Mode: s.Mode.String(), Class: s.Class, ErrorRate: s.ErrorProb})
 		case services.Spawn:
 			out = append(out, Step{Kind: StepSpawn, Service: s.Service, Class: s.Class})
 		case services.Par:
@@ -134,6 +134,12 @@ func (f *File) Encode() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "version: %d\n", f.Version)
 	fmt.Fprintf(&b, "app: %s\n", yamlScalar(f.App))
+	if len(f.Regions) > 0 {
+		b.WriteString("\nregions:\n")
+		for i := range f.Regions {
+			encodeRegion(&b, &f.Regions[i])
+		}
+	}
 	b.WriteString("\nservices:\n")
 	for i := range f.Services {
 		encodeService(&b, &f.Services[i])
@@ -155,6 +161,28 @@ func (f *File) Encode() []byte {
 	return []byte(b.String())
 }
 
+func encodeRegion(b *strings.Builder, r *Region) {
+	fmt.Fprintf(b, "  - name: %s\n", yamlScalar(r.Name))
+	b.WriteString("    nodes: [")
+	for i, c := range r.Nodes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(formatFloat(c))
+	}
+	b.WriteString("]\n")
+	if len(r.WAN) > 0 {
+		b.WriteString("    wan:\n")
+		for _, e := range r.WAN {
+			lat := formatMs(e.LatencyMs)
+			if e.JitterMs > 0 {
+				lat += " +/- " + formatMs(e.JitterMs)
+			}
+			fmt.Fprintf(b, "      %s: %s\n", yamlScalar(e.To), lat)
+		}
+	}
+}
+
 func encodeService(b *strings.Builder, s *Service) {
 	fmt.Fprintf(b, "  - name: %s\n", yamlScalar(s.Name))
 	fmt.Fprintf(b, "    kind: %s\n", s.Kind)
@@ -171,6 +199,9 @@ func encodeService(b *strings.Builder, s *Service) {
 	}
 	if s.StartupDelaySec > 0 {
 		fmt.Fprintf(b, "    startup_delay: %s\n", formatMs(s.StartupDelaySec*1000))
+	}
+	if s.Region != "" {
+		fmt.Fprintf(b, "    region: %s\n", yamlScalar(s.Region))
 	}
 	if s.Ingress != nil {
 		b.WriteString("    ingress:\n")
@@ -198,12 +229,14 @@ func encodeSteps(b *strings.Builder, steps []Step, indent string) {
 				fmt.Fprintf(b, "%s- compute: {duration: %s}\n", indent, formatMs(st.Duration.MeanMs))
 			}
 		case StepCall:
+			fields := fmt.Sprintf("service: %s, mode: %s", yamlScalar(st.Service), st.Mode)
 			if st.Class != "" {
-				fmt.Fprintf(b, "%s- call: {service: %s, mode: %s, class: %s}\n",
-					indent, yamlScalar(st.Service), st.Mode, yamlScalar(st.Class))
-			} else {
-				fmt.Fprintf(b, "%s- call: {service: %s, mode: %s}\n", indent, yamlScalar(st.Service), st.Mode)
+				fields += fmt.Sprintf(", class: %s", yamlScalar(st.Class))
 			}
+			if st.ErrorRate != 0 {
+				fields += fmt.Sprintf(", error_rate: %s", formatFloat(st.ErrorRate))
+			}
+			fmt.Fprintf(b, "%s- call: {%s}\n", indent, fields)
 		case StepSpawn:
 			fmt.Fprintf(b, "%s- spawn: {service: %s, class: %s}\n",
 				indent, yamlScalar(st.Service), yamlScalar(st.Class))

@@ -34,8 +34,12 @@ type GenParams struct {
 	// TargetCores sizes the workload rate so the offered compute load is
 	// roughly this many cores (default 8).
 	TargetCores float64
-	// SLAHeadroom scales the SLA target over the estimated mean end-to-end
-	// latency (default: drawn in [3, 6) per class).
+	// SLAHeadroom, when > 0, scales the SLA target over the estimated mean
+	// end-to-end latency. When unset, a headroom in [3.5, 6.5) is drawn per
+	// class and applied to a percentile-aware *tail* estimate instead of the
+	// mean — the mean is blind to service-time variability and queueing
+	// delay, and SLAs drawn as small mean multiples land below the latency
+	// range any allocation can reach (the deployment fails outright).
 	SLAHeadroom float64
 }
 
@@ -116,19 +120,34 @@ func (g *generator) build() *File {
 	for c := 0; c < classes; c++ {
 		name := fmt.Sprintf("op-%c", 'a'+c)
 		g.growFlow(0, 0, name)
-		meanMs := g.estimateMean(0, name, map[string]bool{})
-		headroom := p.SLAHeadroom
-		if headroom <= 0 {
-			headroom = 3 + 3*g.rng.Float64()
-		}
 		pct := 95.0
 		if g.rng.Float64() < 0.5 {
 			pct = 99.0
 		}
+		headroom := p.SLAHeadroom
+		baseMs := g.estimateMean(0, name, map[string]bool{})
+		if headroom <= 0 {
+			// The mean estimate is tail-blind: per-step CV runs up to 0.6
+			// and queueing delay compounds through the call chain, so upper
+			// percentiles sit well above small mean multiples — and the MIP
+			// certifies the SLA from *summed per-service tail bounds*, which
+			// are heavier still. An SLA drawn too close to the mean is
+			// infeasible at ANY allocation (the deployment fails outright
+			// instead of being merely hard), so the default draw applies the
+			// headroom to a percentile-aware tail estimate: p99 targets
+			// inflate each step by more standard deviations than p95 ones,
+			// and high-variability flows get proportionally more slack.
+			headroom = 3.5 + 3*g.rng.Float64()
+			z := 2.0
+			if pct == 99 {
+				z = 3.0
+			}
+			baseMs = g.estimateTail(0, name, map[string]bool{}, z)
+		}
 		g.file.Classes = append(g.file.Classes, Class{
 			Name:  name,
 			Entry: "frontend",
-			SLA:   SLA{Percentile: pct, LatencyMs: roundMs(meanMs * headroom)},
+			SLA:   SLA{Percentile: pct, LatencyMs: roundMs(baseMs * headroom)},
 		})
 	}
 
@@ -316,6 +335,54 @@ func (g *generator) stepsMean(steps []Step, class string, visiting map[string]bo
 			worst := 0.0
 			for bi := range st.Branches {
 				if m := g.stepsMean(st.Branches[bi].Steps, class, visiting); m > worst {
+					worst = m
+				}
+			}
+			total += worst
+		}
+	}
+	return total
+}
+
+// estimateTail is estimateMean's percentile-aware companion: compute steps
+// contribute mean·(1 + z·cv) — z standard deviations above the mean — and
+// each call hop a (1+z) ms ingress/queueing allowance. z encodes the SLA
+// percentile (≈2 for p95, ≈3 for p99), so tighter percentiles and
+// higher-variability flows both push the SLA target up. Still a walk, not a
+// queueing model: the headroom multiplier absorbs the rest.
+func (g *generator) estimateTail(si int, class string, visiting map[string]bool, z float64) float64 {
+	svc := &g.file.Services[si]
+	key := svc.Name + "/" + class
+	if visiting[key] {
+		return 0
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+	for i := range svc.Operations {
+		if svc.Operations[i].Name != class {
+			continue
+		}
+		return g.stepsTail(svc.Operations[i].Steps, class, visiting, z)
+	}
+	return 0
+}
+
+func (g *generator) stepsTail(steps []Step, class string, visiting map[string]bool, z float64) float64 {
+	total := 0.0
+	for i := range steps {
+		st := &steps[i]
+		switch st.Kind {
+		case StepCompute:
+			total += st.Duration.MeanMs * (1 + z*st.CV)
+		case StepCall:
+			total += 1 + z
+			total += g.estimateTail(g.serviceIndex(st.Service), effectiveClass(class, st.Class), visiting, z)
+		case StepSpawn:
+			// Spawned jobs are measured separately; no e2e contribution.
+		case StepPar:
+			worst := 0.0
+			for bi := range st.Branches {
+				if m := g.stepsTail(st.Branches[bi].Steps, class, visiting, z); m > worst {
 					worst = m
 				}
 			}

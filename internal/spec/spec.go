@@ -27,6 +27,9 @@ type File struct {
 	Version int
 	// App names the application.
 	App string
+	// Regions optionally declares the geo-topology: named node groups plus
+	// the WAN edges between them. Empty means the single-region world.
+	Regions []Region
 	// Services lists the microservices, in file order.
 	Services []Service
 	// Classes lists the request classes, in file order.
@@ -34,6 +37,28 @@ type File struct {
 	// Workload optionally declares the nominal load: total request rate and
 	// the weighted class mix.
 	Workload *Workload
+}
+
+// Region declares one geo-region: a named node group with per-node CPU
+// capacities, plus its outbound WAN edges. Region-aware placement pins each
+// service's replicas to its home region's nodes.
+type Region struct {
+	Name string
+	// Nodes lists the CPU capacity of each node in the region's group.
+	Nodes []float64
+	// WAN lists latency edges to peer regions, in file order. An edge is
+	// looked up in either direction, so a symmetric link needs only one
+	// declaration.
+	WAN []WANEdge
+}
+
+// WANEdge is one WAN latency declaration, parsed from `80ms` or
+// `80ms +/- 10ms` syntax — the spread is jitter, spreading each cross-region
+// delivery uniformly over [latency, latency+jitter).
+type WANEdge struct {
+	To        string
+	LatencyMs float64
+	JitterMs  float64
 }
 
 // Service describes one microservice.
@@ -55,6 +80,10 @@ type Service struct {
 	MaxReplicas int
 	// StartupDelaySec is the container start latency on scale-out, seconds.
 	StartupDelaySec float64
+	// Region is the service's home region (must be declared under regions:).
+	// Empty defaults to the first declared region, or nowhere when the file
+	// declares no regions.
+	Region string
 	// Ingress overrides the kind's ingress profile when non-nil.
 	Ingress *Ingress
 	// Operations maps operation (request-class) names to handler bodies, in
@@ -117,6 +146,9 @@ type Step struct {
 	Service string
 	Mode    string // "nested-rpc" | "event-rpc" | "mq" ("" = nested-rpc)
 	Class   string // Call: optional class override; Spawn: required class
+	// ErrorRate is the probability the callee rejects the call with an
+	// application error (Call only; 0 = never).
+	ErrorRate float64
 	// Par field.
 	Branches []Branch
 }

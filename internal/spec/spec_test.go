@@ -169,7 +169,31 @@ func TestLoaderErrorPaths(t *testing.T) {
 			"unknown field",
 			strings.Replace(minimalDoc, "    kind: rpc\n    cpus: 1\n    replicas: 1\n    operations:\n      get:\n        steps:\n          - compute: 5ms\n          - call: backend",
 				"    kind: rpc\n    cpus: 1\n    replica_count: 1\n    operations:\n      get:\n        steps:\n          - compute: 5ms\n          - call: backend", 1),
-			`app.yaml: services.frontend.replica_count: unknown field (known fields: name, kind, cpus, replicas, threads, daemons, max_replicas, startup_delay, ingress, operations)`,
+			`app.yaml: services.frontend.replica_count: unknown field (known fields: name, kind, cpus, replicas, threads, daemons, max_replicas, startup_delay, region, ingress, operations)`,
+		},
+		{
+			"service bound to unknown region",
+			strings.Replace(minimalDoc, "- name: backend\n    kind: rpc",
+				"- name: backend\n    kind: rpc\n    region: mars", 1),
+			`app.yaml: services.backend.region: unknown region "mars"`,
+		},
+		{
+			"wan edge to unknown region",
+			strings.Replace(minimalDoc, "app: demo\n",
+				"app: demo\nregions:\n  - name: us-east\n    nodes: [64]\n    wan:\n      eu-west: 80ms\n", 1),
+			`app.yaml: regions.us-east.wan.eu-west: unknown region "eu-west"`,
+		},
+		{
+			"duplicate region",
+			strings.Replace(minimalDoc, "app: demo\n",
+				"app: demo\nregions:\n  - name: us-east\n    nodes: [64]\n  - name: us-east\n    nodes: [32]\n", 1),
+			`app.yaml: regions[1].name: duplicate region "us-east"`,
+		},
+		{
+			"error rate out of range",
+			strings.Replace(minimalDoc, "- call: backend",
+				"- call: {service: backend, error_rate: 1.5}", 1),
+			`app.yaml: services.frontend.operations.get.steps[1].call.error_rate: must be in [0, 1]`,
 		},
 		{
 			"unknown class in mix",
@@ -363,6 +387,73 @@ func TestTransformStepsDropsOnlyNamedSpawns(t *testing.T) {
 	if got := DropSpawns([]services.Step{services.Spawn{Service: "ml", Class: "analyze"}},
 		map[string]bool{"analyze": true}); got != nil {
 		t.Errorf("all-dropped: got %#v want nil", got)
+	}
+}
+
+func TestRegionsRoundTrip(t *testing.T) {
+	doc := `version: 1
+app: geo
+regions:
+  - name: us-east
+    nodes: [64, 64]
+    wan:
+      eu-west: 80ms +/- 10ms
+  - name: eu-west
+    nodes: [48]
+services:
+  - name: frontend
+    kind: rpc
+    cpus: 1
+    replicas: 1
+    region: us-east
+    operations:
+      get:
+        steps:
+          - compute: 5ms
+          - call: {service: backend, error_rate: 0.02}
+  - name: backend
+    kind: rpc
+    cpus: 1
+    replicas: 1
+    region: eu-west
+    operations:
+      get:
+        steps:
+          - compute: 5ms
+classes:
+  - name: get
+    entry: frontend
+    sla: {percentile: 99, latency: 100ms}
+`
+	f, err := Parse("geo.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := c.Regions
+	if len(topo.Groups) != 2 || topo.Groups[0].Name != "us-east" || len(topo.Groups[0].Capacities) != 2 {
+		t.Fatalf("groups: %+v", topo.Groups)
+	}
+	if len(topo.Links) != 1 || topo.Links[0].LatencyMs != 80 || topo.Links[0].JitterMs != 10 {
+		t.Fatalf("links: %+v", topo.Links)
+	}
+	if topo.Bindings["frontend"] != "us-east" || topo.Bindings["backend"] != "eu-west" {
+		t.Fatalf("bindings: %+v", topo.Bindings)
+	}
+	call := c.Spec.ServiceSpecByName("frontend").Handlers["get"][1].(services.Call)
+	if call.ErrorProb != 0.02 {
+		t.Fatalf("error_rate not compiled: %+v", call)
+	}
+	// Encode → parse reproduces the File (regions, bindings, error_rate).
+	f2, err := Parse("geo.yaml", f.Encode())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(f, f2) {
+		t.Fatalf("round trip changed the file:\n%s\nvs\n%s", f.Encode(), f2.Encode())
 	}
 }
 

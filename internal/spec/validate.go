@@ -21,6 +21,38 @@ func (f *File) Validate() error {
 	if len(f.Services) == 0 {
 		return errf("services", "at least one service required")
 	}
+	regionByName := map[string]bool{}
+	for i := range f.Regions {
+		r := &f.Regions[i]
+		if regionByName[r.Name] {
+			return errf(fmt.Sprintf("regions[%d].name", i), "duplicate region %q", r.Name)
+		}
+		regionByName[r.Name] = true
+		path := "regions." + r.Name
+		if len(r.Nodes) == 0 {
+			return errf(path+".nodes", "at least one node required")
+		}
+		for j, cap := range r.Nodes {
+			if cap <= 0 {
+				return errf(fmt.Sprintf("%s.nodes[%d]", path, j), "capacity must be positive")
+			}
+		}
+	}
+	for i := range f.Regions {
+		r := &f.Regions[i]
+		path := "regions." + r.Name
+		for _, e := range r.WAN {
+			if e.To == r.Name {
+				return errf(path+".wan."+e.To, "region cannot link to itself")
+			}
+			if !regionByName[e.To] {
+				return errf(path+".wan."+e.To, "unknown region %q", e.To)
+			}
+			if e.LatencyMs < 0 {
+				return errf(path+".wan."+e.To, "latency must not be negative")
+			}
+		}
+	}
 	svcByName := map[string]*Service{}
 	for i := range f.Services {
 		s := &f.Services[i]
@@ -40,6 +72,9 @@ func (f *File) Validate() error {
 		}
 		if s.StartupDelaySec < 0 {
 			return errf(path+".startup_delay", "must not be negative")
+		}
+		if s.Region != "" && !regionByName[s.Region] {
+			return errf(path+".region", "unknown region %q", s.Region)
 		}
 		if s.Ingress != nil {
 			if s.Ingress.CostMs < 0 {
@@ -141,6 +176,10 @@ func checkStepShapes(steps []Step, path string) *Error {
 		case StepCompute:
 			if st.Duration.MeanMs <= 0 {
 				return errf(at+".compute.duration", "must be positive")
+			}
+		case StepCall:
+			if st.ErrorRate < 0 || st.ErrorRate > 1 {
+				return errf(at+".call.error_rate", "must be in [0, 1]")
 			}
 		case StepPar:
 			if len(st.Branches) == 0 {

@@ -51,6 +51,18 @@ func (d Diurnal) RPS(t sim.Time) float64 {
 	return d.Base + (d.Peak-d.Base)*frac
 }
 
+// Shift advances a pattern in time: RPS(t) = Inner.RPS(t+Offset). Wrapping a
+// periodic pattern (Diurnal) with per-deployment offsets phase-shifts the same
+// curve across deployments — the follow-the-sun workload, where each region's
+// peak lands in another region's trough.
+type Shift struct {
+	Inner  Pattern
+	Offset sim.Time
+}
+
+// RPS implements Pattern.
+func (s Shift) RPS(t sim.Time) float64 { return s.Inner.RPS(t + s.Offset) }
+
 // Burst holds Base RPS and multiplies it by Factor during [Start, Start+Len)
 // — the paper's "RPS increases sharply by 50% to 125%".
 type Burst struct {

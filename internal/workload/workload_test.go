@@ -70,6 +70,22 @@ func TestDiurnalShape(t *testing.T) {
 	}
 }
 
+func TestShiftPattern(t *testing.T) {
+	d := Diurnal{Base: 50, Peak: 150, Period: 60 * sim.Minute}
+	s := Shift{Inner: d, Offset: 15 * sim.Minute}
+	// The shifted pattern at t reads the inner pattern at t+Offset.
+	for _, tm := range []sim.Time{0, 10 * sim.Minute, 45 * sim.Minute, 100 * sim.Minute} {
+		if got, want := s.RPS(tm), d.RPS(tm+15*sim.Minute); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Shift.RPS(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	// A whole-period shift is the identity.
+	full := Shift{Inner: d, Offset: 60 * sim.Minute}
+	if got := full.RPS(20 * sim.Minute); math.Abs(got-d.RPS(20*sim.Minute)) > 1e-9 {
+		t.Fatalf("whole-period shift not identity: %v", got)
+	}
+}
+
 func TestBurstPattern(t *testing.T) {
 	b := Burst{Base: 100, Factor: 2.25, Start: 5 * sim.Minute, Len: 2 * sim.Minute}
 	if b.RPS(0) != 100 || b.RPS(6*sim.Minute) != 225 || b.RPS(8*sim.Minute) != 100 {
